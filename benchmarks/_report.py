@@ -1,0 +1,37 @@
+"""Shared reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+helpers here render the regenerated rows/series as text, print them (run
+pytest with ``-s`` to watch live) and persist them under
+``benchmarks/results/`` so EXPERIMENTS.md can be audited against actual
+output files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def format_table(title: str, headers: list[str],
+                 rows: list[list[str]]) -> str:
+    """Render an aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a report and write it to benchmarks/results/<name>.txt."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

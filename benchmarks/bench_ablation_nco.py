@@ -1,0 +1,114 @@
+"""Ablation: chirp-generator quantization (paper Fig. 6a design choice).
+
+The FPGA renders chirps through a phase accumulator and sin/cos lookup
+tables; table depth and amplitude width trade BRAM for waveform purity.
+Sweeping the geometry shows *where* that purity matters:
+
+* chirp EVM and single-tone SFDR improve steadily with LUT size - this
+  is what Fig. 8's "no unexpected harmonics" and regulatory masks buy;
+* but chirp **SER at sensitivity is flat** across even pathological
+  LUTs: the dechirp-FFT correlator integrates over 2^SF chips, and at
+  -129 dBm the thermal noise sits ~12 dB above the signal, so -16 dB
+  quantization products vanish underneath it.
+
+The conclusion the numbers support: tinySDR's LUT sizing is driven by
+transmit spectral purity (and the concurrent-reception orthogonality of
+Fig. 15a), not by receive sensitivity.
+"""
+
+import numpy as np
+from _report import format_table, publish
+
+from repro.channel.link import LinkBudget, ReceivedSignal, receive
+from repro.dsp.measure import spurious_free_dynamic_range_db
+from repro.dsp.nco import Nco, NcoConfig
+from repro.phy.lora import LoRaParams
+from repro.phy.lora.chirp import QuantizedChirpGenerator, ideal_chirp
+from repro.phy.lora.demodulator import SymbolDemodulator
+
+PARAMS = LoRaParams(8, 125e3)
+RSSI_DBM = -129.0
+SYMBOLS = 250
+
+GEOMETRIES = [
+    (4, 4),    # 16-entry, 4-bit: pathological
+    (6, 6),
+    (8, 8),
+    (10, 13),  # tinySDR-class
+    (12, 16),  # oversized
+]
+
+
+def _evm_db(generator: QuantizedChirpGenerator) -> float:
+    errors = []
+    for symbol in range(0, 256, 16):
+        ideal = ideal_chirp(PARAMS, symbol)
+        quantized = generator.chirp(symbol)
+        errors.append(np.mean(np.abs(quantized - ideal) ** 2))
+    return 10.0 * np.log10(np.mean(errors))
+
+
+def _tone_sfdr_db(config: NcoConfig) -> float:
+    nco = Nco(config)
+    fs = 4e6
+    tone = nco.tone(fs / 16, fs, 16384)
+    return spurious_free_dynamic_range_db(tone, fs, fs / 16,
+                                          exclusion_hz=4e3)
+
+
+def _ser(generator: QuantizedChirpGenerator, rng) -> float:
+    symbols = rng.integers(0, 256, SYMBOLS)
+    waveform = generator.symbols(symbols)
+    budget = LinkBudget(bandwidth_hz=PARAMS.sample_rate_hz,
+                        noise_figure_db=6.0)
+    stream = receive([ReceivedSignal(waveform, RSSI_DBM)], budget, rng)
+    demod = SymbolDemodulator(PARAMS)
+    errors = sum(
+        int(demod.demodulate_upchirp(stream[i * 256:(i + 1) * 256])[0]
+            != s)
+        for i, s in enumerate(symbols))
+    return errors / SYMBOLS
+
+
+def run_ablation(rng):
+    results = []
+    for address_bits, amplitude_bits in GEOMETRIES:
+        config = NcoConfig(phase_bits=32,
+                           table_address_bits=address_bits,
+                           amplitude_bits=amplitude_bits)
+        generator = QuantizedChirpGenerator(PARAMS, config)
+        results.append((
+            address_bits, amplitude_bits,
+            _evm_db(generator),
+            _tone_sfdr_db(config),
+            _ser(generator, rng),
+            2 * (1 << address_bits) * amplitude_bits,
+        ))
+    return results
+
+
+def test_ablation_nco_quantization(benchmark, rng):
+    results = benchmark.pedantic(run_ablation, args=(rng,), rounds=1,
+                                 iterations=1)
+    rows = [[f"2^{a} x {b} bit", f"{evm:.1f} dB", f"{sfdr:.1f} dB",
+             f"{ser * 100:.1f}%", f"{bram / 1024:.1f} kbit"]
+            for a, b, evm, sfdr, ser, bram in results]
+    publish("ablation_nco", format_table(
+        f"Ablation: chirp LUT geometry (SER at {RSSI_DBM:.0f} dBm, SF8)",
+        ["LUT (entries x width)", "chirp EVM", "tone SFDR", "SER",
+         "BRAM"], rows))
+
+    evms = [r[2] for r in results]
+    sfdrs = [r[3] for r in results]
+    sers = [r[4] for r in results]
+    # Waveform purity improves monotonically with LUT size.
+    assert evms == sorted(evms, reverse=True)
+    assert sfdrs[0] < sfdrs[3]
+    # TX spectral purity is where the design point matters: the
+    # pathological table cannot meet Fig. 8's clean-spectrum claim,
+    # tinySDR-class can.
+    assert sfdrs[0] < 40.0
+    assert sfdrs[3] > 60.0
+    # Receive SER at sensitivity is *insensitive* to the geometry - the
+    # finding that explains why the paper's modulator fits in 976 LUTs.
+    assert max(sers) - min(sers) < 0.06

@@ -1,0 +1,54 @@
+"""Reproduce paper Fig. 11: LoRa demodulator evaluation (SER vs RSSI).
+
+An SX1276-class transmitter sends random chirp symbols; tinySDR's
+FPGA-pipeline demodulator (dechirp, FFT, peak detect) measures chirp
+symbol error rate against RSSI.  Paper result: demodulation down to
+-126 dBm at SF8/BW125 - the protocol sensitivity - with the BW250 curve
+~3 dB to the right.
+"""
+
+from _report import format_table, publish
+
+from repro.core.sweeps import find_sensitivity_dbm, lora_symbol_error_rate
+from repro.phy.lora import LoRaParams
+
+SYMBOLS_PER_POINT = 300
+RSSI_SWEEP = [-105.0, -110.0, -115.0, -120.0, -124.0, -126.0, -128.0,
+              -130.0, -133.0, -136.0]
+PAPER_SENSITIVITY_DBM = {125e3: -126.0, 250e3: -123.0}
+
+
+def run_fig11(rng):
+    results = {}
+    for bw in (125e3, 250e3):
+        params = LoRaParams(8, bw)
+        results[bw] = [lora_symbol_error_rate(
+            params, rssi, SYMBOLS_PER_POINT, rng) for rssi in RSSI_SWEEP]
+    return results
+
+
+def test_fig11_lora_demodulator_ser(benchmark, rng):
+    results = benchmark.pedantic(run_fig11, args=(rng,), rounds=1,
+                                 iterations=1)
+    rows = [[f"{rssi:.0f}",
+             f"{results[125e3][i].error_rate * 100:.1f}%",
+             f"{results[250e3][i].error_rate * 100:.1f}%"]
+            for i, rssi in enumerate(RSSI_SWEEP)]
+    publish("fig11_lora_demodulator", format_table(
+        "Fig. 11: LoRa Demodulator Evaluation (chirp SER vs RSSI, SF8)",
+        ["RSSI (dBm)", "BW 125 kHz", "BW 250 kHz"], rows))
+
+    for bw, paper in PAPER_SENSITIVITY_DBM.items():
+        measured = find_sensitivity_dbm(results[bw], threshold=0.1)
+        # The simulated receiver reaches the paper's sensitivity; ideal
+        # synchronization buys it at most a few dB beyond.
+        assert measured <= paper, f"BW {bw}: {measured} vs paper {paper}"
+        assert measured >= paper - 6.0, f"BW {bw} too optimistic"
+    # BW250 sits to the right of BW125 by roughly the 3 dB noise delta.
+    gap = find_sensitivity_dbm(results[250e3], 0.1) - \
+        find_sensitivity_dbm(results[125e3], 0.1)
+    assert 1.0 <= gap <= 6.0
+    # Waterfall shape: clean on top, broken at the bottom.
+    for bw in (125e3, 250e3):
+        assert results[bw][0].error_rate == 0.0
+        assert results[bw][-1].error_rate > 0.8

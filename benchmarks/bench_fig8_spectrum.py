@@ -1,0 +1,51 @@
+"""Reproduce paper Fig. 8: single-tone transmitter frequency spectrum.
+
+The paper implements a single-tone modulator on the FPGA, streams the
+I/Q samples to the radio at 915 MHz and observes "a single tone with no
+unexpected harmonics introduced by the modulator" on a spectrum
+analyzer.  We run the same tone through the quantized NCO and the
+radio's 13-bit DAC and measure the spurious-free dynamic range.
+"""
+
+import numpy as np
+from _report import format_table, publish
+
+from repro.dsp.measure import periodogram, spurious_free_dynamic_range_db
+from repro.phy.lora import LoRaModulator, LoRaParams
+from repro.radio import At86Rf215
+
+TONE_HZ = 250e3
+SAMPLE_RATE_HZ = 4e6
+
+
+def run_fig8():
+    params = LoRaParams(8, 500e3, oversampling=8)  # 4 MHz sample rate
+    modulator = LoRaModulator(params, quantized=True)
+    tone = modulator.single_tone(TONE_HZ, duration_s=0.01)
+    radio = At86Rf215(frequency_hz=915e6)
+    radio.wake()
+    radio.enter_tx()
+    radio.set_tx_power(0.0)
+    transmitted = radio.transmit(tone)
+    freqs, psd_db = periodogram(transmitted, SAMPLE_RATE_HZ)
+    sfdr = spurious_free_dynamic_range_db(
+        transmitted, SAMPLE_RATE_HZ, TONE_HZ, exclusion_hz=5e3)
+    peak_hz = float(freqs[np.argmax(psd_db)])
+    return peak_hz, sfdr
+
+
+def test_fig8_single_tone_spectrum(benchmark):
+    peak_hz, sfdr = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    rows = [
+        ["Tone frequency (programmed)", f"{TONE_HZ / 1e3:.0f} kHz offset"],
+        ["Tone frequency (measured)", f"{peak_hz / 1e3:.1f} kHz offset"],
+        ["SFDR (quantized NCO + 13-bit DAC)", f"{sfdr:.1f} dB"],
+        ["Paper observation", "single tone, no unexpected harmonics"],
+    ]
+    publish("fig8_spectrum", format_table(
+        "Fig. 8: TinySDR Single-Tone Frequency Spectrum",
+        ["Quantity", "Value"], rows))
+    assert abs(peak_hz - TONE_HZ) < 1e3
+    # 'No unexpected harmonics': all spurs at least 60 dB below carrier
+    # (Fig. 8's visible noise floor sits ~60 dB under the tone).
+    assert sfdr > 60.0

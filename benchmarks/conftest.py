@@ -1,0 +1,15 @@
+"""Benchmark fixtures."""
+
+import sys
+import pathlib
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator so benchmark outputs are reproducible."""
+    return np.random.default_rng(2020)

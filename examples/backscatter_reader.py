@@ -1,0 +1,44 @@
+"""A backscatter reader built from tinySDR primitives (paper section 7).
+
+The reader transmits a single tone (the same quantized-NCO path as the
+paper's Fig. 8 benchmark) while a passive tag ON-OFF keys a 100 kHz
+subcarrier onto its reflection.  The reader's receive chain nulls its
+own carrier, mixes the subcarrier down and recovers the tag's bits -
+then we sweep the link budget to find where the tag becomes readable.
+
+Run:  python examples/backscatter_reader.py
+"""
+
+import numpy as np
+
+from repro.backscatter import BackscatterConfig, BackscatterReader, reader_link
+
+rng = np.random.default_rng(23)
+config = BackscatterConfig(subcarrier_hz=100e3, bit_rate_bps=10e3,
+                           tag_loss_db=30.0)
+reader = BackscatterReader(config)
+
+message = b"TAG1"
+bits = np.unpackbits(np.frombuffer(message, dtype=np.uint8)).astype(int)
+
+print(f"tag message: {message!r} ({bits.size} bits at "
+      f"{config.bit_rate_bps / 1e3:.0f} kb/s on a "
+      f"{config.subcarrier_hz / 1e3:.0f} kHz subcarrier)")
+print(f"tag conversion loss: {config.tag_loss_db:.0f} dB\n")
+
+print(f"{'carrier/noise':>14s} {'tag SNR':>8s} {'bit errors':>11s}")
+for cnr in (60.0, 45.0, 40.0, 35.0, 30.0, 25.0):
+    capture = reader_link(config, bits, carrier_to_noise_db=cnr,
+                          self_interference_db=0.0, rng=rng)
+    decoded = reader.demodulate(capture, bits.size)
+    errors = int(np.sum(decoded != bits))
+    tag_snr = cnr - config.tag_loss_db
+    status = "" if errors else "  <- readable"
+    print(f"{cnr:11.0f} dB {tag_snr:5.0f} dB {errors:8d}/{bits.size}"
+          f"{status}")
+
+capture = reader_link(config, bits, carrier_to_noise_db=60.0,
+                      self_interference_db=0.0, rng=rng)
+decoded = reader.demodulate(capture, bits.size)
+recovered = np.packbits(decoded.astype(np.uint8)).tobytes()
+print(f"\nat a healthy link the reader recovers: {recovered!r}")

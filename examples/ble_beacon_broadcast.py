@@ -1,0 +1,59 @@
+"""BLE beacon broadcasting: advertising events, hopping and battery life.
+
+Builds a real ADV_NONCONN_IND packet (CRC-24, channel whitening),
+transmits one advertising event across channels 37/38/39 with the
+platform's 220 us hop delay, demodulates the burst back with a
+CC2650-style receiver, and estimates how long a 1000 mAh battery
+sustains once-per-second beaconing.
+
+Run:  python examples/ble_beacon_broadcast.py
+"""
+
+import numpy as np
+
+from repro import AdvPacket, TinySdr
+from repro.channel import awgn
+from repro.phy.ble import (
+    GfskDemodulator,
+    beacon_airtime_s,
+    bits_to_bytes_lsb_first,
+    parse_air_bytes,
+)
+from repro.power import LIPO_1000MAH, duty_cycle_profile
+
+rng = np.random.default_rng(3)
+
+packet = AdvPacket(advertiser_address=bytes.fromhex("c0ffee123456"),
+                   adv_data=b"tinySDR beacon")
+
+node = TinySdr(node_id=2, frequency_hz=2.44e9)
+node.load_firmware("ble_beacon")
+records = node.transmit_ble_beacons(packet, tx_power_dbm=0.0)
+
+print("advertising event:")
+for channel, record in zip((37, 38, 39), records):
+    print(f"  channel {channel}: {record.airtime_s * 1e6:.0f} us airtime, "
+          f"{record.energy_j * 1e6:.1f} uJ")
+
+# Receive the channel-37 burst at 20 dB SNR on a scanner.
+bits_expected = packet.air_bits(37)
+noisy = awgn(records[0].samples, snr_db=20.0, rng=rng)
+decided = GfskDemodulator().demodulate(noisy, bits_expected.size)
+air = bits_to_bytes_lsb_first(decided)
+parsed = parse_air_bytes(air, channel=37)
+print(f"\nscanner sees: {parsed.packet.adv_data!r}  CRC ok: {parsed.crc_ok}")
+
+# Battery life at one advertising event per second.
+event_energy = sum(record.energy_j for record in records)
+event_time = (beacon_airtime_s(len(packet.pdu())) * 3 + 2 * 220e-6)
+sleep_power = 30e-6
+meter = duty_cycle_profile(
+    active_power_w=event_energy / event_time, active_time_s=event_time,
+    sleep_power_w=sleep_power, period_s=1.0)
+years = LIPO_1000MAH.lifetime_years(meter.average_power_w)
+print(f"\none event costs {event_energy * 1e6:.0f} uJ over "
+      f"{event_time * 1e3:.2f} ms")
+print(f"beaconing once per second: average {meter.average_power_w * 1e6:.0f}"
+      f" uW -> {years:.1f} years on 1000 mAh")
+print("(the paper quotes 'over 2 years' assuming the FPGA stays "
+      "configured between events, as here)")

@@ -1,0 +1,5 @@
+"""Setup shim enabling editable installs without the ``wheel`` package."""
+
+from setuptools import setup
+
+setup()

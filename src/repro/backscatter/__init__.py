@@ -1,0 +1,15 @@
+"""Backscatter reader/tag building blocks (paper section 7)."""
+
+from repro.backscatter.system import (
+    BackscatterConfig,
+    BackscatterReader,
+    BackscatterTag,
+    reader_link,
+)
+
+__all__ = [
+    "BackscatterConfig",
+    "BackscatterReader",
+    "BackscatterTag",
+    "reader_link",
+]

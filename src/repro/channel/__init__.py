@@ -1,0 +1,27 @@
+"""Channel substrate: noise, path loss, link budgets and impairments."""
+
+from repro.channel.awgn import awgn, complex_noise, noise_only
+from repro.channel.impairments import (
+    apply_cfo,
+    apply_dc_offset,
+    apply_iq_imbalance,
+    apply_phase_noise,
+    ppm_to_hz,
+)
+from repro.channel.link import LinkBudget, ReceivedSignal, receive
+from repro.channel.pathloss import LogDistanceModel
+
+__all__ = [
+    "LinkBudget",
+    "LogDistanceModel",
+    "ReceivedSignal",
+    "apply_cfo",
+    "apply_dc_offset",
+    "apply_iq_imbalance",
+    "apply_phase_noise",
+    "awgn",
+    "complex_noise",
+    "noise_only",
+    "ppm_to_hz",
+    "receive",
+]

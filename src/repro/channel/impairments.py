@@ -1,0 +1,69 @@
+"""Front-end impairments: CFO, phase noise, I/Q imbalance, DC offset.
+
+The AT86RF215 and SX1276 use independent crystals, so real links carry a
+carrier frequency offset of tens of ppm; LoRa tolerates this thanks to its
+preamble-based synchronization.  These impairments let the test suite
+verify that tolerance and let the benches run with realistic offsets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ChannelError
+
+
+def apply_cfo(samples: np.ndarray, offset_hz: float,
+              sample_rate_hz: float, initial_phase_rad: float = 0.0) -> np.ndarray:
+    """Rotate a baseband signal by a constant carrier frequency offset."""
+    if sample_rate_hz <= 0.0:
+        raise ChannelError(f"sample rate must be positive, got {sample_rate_hz!r}")
+    samples = np.asarray(samples, dtype=np.complex128)
+    n = np.arange(samples.size)
+    rotation = np.exp(1j * (2.0 * np.pi * offset_hz / sample_rate_hz * n
+                            + initial_phase_rad))
+    return samples * rotation
+
+
+def ppm_to_hz(ppm: float, carrier_hz: float) -> float:
+    """Convert a crystal tolerance in ppm to a frequency offset in Hz."""
+    if carrier_hz <= 0.0:
+        raise ChannelError(f"carrier must be positive, got {carrier_hz!r}")
+    return ppm * 1e-6 * carrier_hz
+
+
+def apply_phase_noise(samples: np.ndarray, rms_rad: float,
+                      rng: np.random.Generator,
+                      correlation_samples: int = 64) -> np.ndarray:
+    """Apply a random-walk phase noise process with given RMS per block.
+
+    A simple Wiener-process model: adequate for verifying demodulator
+    robustness, not for oscillator characterization.
+    """
+    if rms_rad < 0.0:
+        raise ChannelError(f"phase noise RMS must be >= 0, got {rms_rad!r}")
+    if correlation_samples < 1:
+        raise ChannelError(
+            f"correlation length must be >= 1, got {correlation_samples}")
+    samples = np.asarray(samples, dtype=np.complex128)
+    if rms_rad == 0.0 or samples.size == 0:
+        return samples.copy()
+    step_sigma = rms_rad / np.sqrt(correlation_samples)
+    walk = np.cumsum(rng.normal(0.0, step_sigma, samples.size))
+    return samples * np.exp(1j * walk)
+
+
+def apply_iq_imbalance(samples: np.ndarray, gain_imbalance_db: float = 0.0,
+                       phase_imbalance_rad: float = 0.0) -> np.ndarray:
+    """Apply transmit-side gain/phase imbalance between the I and Q rails."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    gain = 10.0 ** (gain_imbalance_db / 20.0)
+    i = samples.real
+    q = samples.imag * gain
+    q_rotated = q * np.cos(phase_imbalance_rad) + i * np.sin(phase_imbalance_rad)
+    return i + 1j * q_rotated
+
+
+def apply_dc_offset(samples: np.ndarray, offset: complex) -> np.ndarray:
+    """Add a complex DC offset (LO leakage at baseband)."""
+    return np.asarray(samples, dtype=np.complex128) + offset

@@ -1,0 +1,93 @@
+"""Path-loss models for the campus testbed simulation.
+
+Paper Fig. 7 deploys 20 tinySDR nodes across a campus; Fig. 14's OTA
+programming times follow from each node's link quality.  We model those
+links with the standard log-distance path-loss model (free space at a
+reference distance plus a distance exponent and lognormal shadowing),
+which is the usual abstraction for sub-GHz campus-scale LPWAN links.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ChannelError
+from repro.units import free_space_path_loss_db
+
+
+@dataclass(frozen=True)
+class LogDistanceModel:
+    """Log-distance path loss with optional lognormal shadowing.
+
+    ``PL(d) = FSPL(d0) + 10*n*log10(d/d0) + X_sigma``
+
+    Attributes:
+        frequency_hz: carrier frequency.
+        exponent: path-loss exponent ``n`` (2 = free space; campus
+            deployments with foliage/buildings are typically 2.7-3.5).
+        reference_distance_m: close-in reference distance ``d0``.
+        shadowing_sigma_db: standard deviation of the lognormal shadowing
+            term; 0 disables shadowing.
+    """
+
+    frequency_hz: float
+    exponent: float = 2.9
+    reference_distance_m: float = 1.0
+    shadowing_sigma_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0.0:
+            raise ChannelError(
+                f"frequency must be positive, got {self.frequency_hz!r}")
+        if self.exponent < 1.0:
+            raise ChannelError(
+                f"path loss exponent below 1 is unphysical, got {self.exponent!r}")
+        if self.reference_distance_m <= 0.0:
+            raise ChannelError(
+                "reference distance must be positive, got "
+                f"{self.reference_distance_m!r}")
+        if self.shadowing_sigma_db < 0.0:
+            raise ChannelError(
+                f"shadowing sigma must be >= 0, got {self.shadowing_sigma_db!r}")
+
+    def mean_path_loss_db(self, distance_m: float) -> float:
+        """Deterministic (median) path loss at ``distance_m``."""
+        if distance_m <= 0.0:
+            raise ChannelError(f"distance must be positive, got {distance_m!r}")
+        distance_m = max(distance_m, self.reference_distance_m)
+        reference_loss = free_space_path_loss_db(
+            self.reference_distance_m, self.frequency_hz)
+        return reference_loss + 10.0 * self.exponent * math.log10(
+            distance_m / self.reference_distance_m)
+
+    def path_loss_db(self, distance_m: float,
+                     rng: np.random.Generator | None = None) -> float:
+        """Path loss including a shadowing draw when ``rng`` is provided."""
+        loss = self.mean_path_loss_db(distance_m)
+        if rng is not None and self.shadowing_sigma_db > 0.0:
+            loss += float(rng.normal(0.0, self.shadowing_sigma_db))
+        return loss
+
+    def received_power_dbm(self, tx_power_dbm: float, distance_m: float,
+                           tx_gain_dbi: float = 0.0, rx_gain_dbi: float = 0.0,
+                           rng: np.random.Generator | None = None) -> float:
+        """RSSI at the receiver for a given transmit power and distance."""
+        return (tx_power_dbm + tx_gain_dbi + rx_gain_dbi
+                - self.path_loss_db(distance_m, rng))
+
+    def range_for_sensitivity_m(self, tx_power_dbm: float,
+                                sensitivity_dbm: float,
+                                link_margin_db: float = 0.0) -> float:
+        """Distance at which the median RSSI falls to sensitivity + margin."""
+        budget_db = tx_power_dbm - sensitivity_dbm - link_margin_db
+        reference_loss = free_space_path_loss_db(
+            self.reference_distance_m, self.frequency_hz)
+        excess_db = budget_db - reference_loss
+        if excess_db < 0.0:
+            raise ChannelError(
+                "link budget does not close even at the reference distance")
+        return self.reference_distance_m * 10.0 ** (
+            excess_db / (10.0 * self.exponent))

@@ -1,0 +1,182 @@
+"""Command-line interface for the tinySDR reproduction.
+
+Gives shell access to the experiments a testbed operator runs most:
+
+* ``repro info`` - platform summary (timings, cost, FPGA budgets).
+* ``repro power`` - battery power in every platform state.
+* ``repro sweep-lora`` - chirp SER vs RSSI for a LoRa configuration.
+* ``repro sweep-ble`` - BLE beacon BER vs RSSI.
+* ``repro campaign`` - OTA-program a simulated campus testbed.
+* ``repro adr`` - rate-adaptation study across the deployment.
+
+Install the package and run ``python -m repro.cli <command>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.timing import platform_timings
+    from repro.fpga import LFE5U_25F_LUTS, lora_rx_design, lora_tx_design
+    from repro.platforms import total_cost_usd
+
+    print("tinySDR platform summary")
+    print(f"  unit cost (1000 units):   ${total_cost_usd():.2f}")
+    print(f"  FPGA:                     LFE5U-25F, {LFE5U_25F_LUTS} LUTs")
+    print(f"  LoRa modem (SF8):         TX {lora_tx_design(8).luts} / "
+          f"RX {lora_rx_design(8).luts} LUTs")
+    print("  operation timings:")
+    for operation, milliseconds in platform_timings().as_table():
+        print(f"    {operation:26s} {milliseconds:8.3f} ms")
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.power import PlatformState, PowerManagementUnit
+
+    pmu = PowerManagementUnit()
+    rows = [(PlatformState.SLEEP, {}),
+            (PlatformState.MCU_ONLY, {}),
+            (PlatformState.IQ_TX, {"tx_power_dbm": args.tx_power}),
+            (PlatformState.IQ_RX, {}),
+            (PlatformState.CONCURRENT_RX, {}),
+            (PlatformState.BACKBONE_RX, {}),
+            (PlatformState.BACKBONE_TX, {})]
+    print(f"{'state':16s} {'battery power':>14s}")
+    for state, kwargs in rows:
+        pmu.enter_state(state, **kwargs)
+        power = pmu.battery_power_w()
+        unit = "uW" if power < 1e-3 else "mW"
+        value = power * (1e6 if unit == "uW" else 1e3)
+        print(f"{state.value:16s} {value:10.1f} {unit}")
+    return 0
+
+
+def _cmd_sweep_lora(args: argparse.Namespace) -> int:
+    from repro.core.sweeps import lora_symbol_error_rate
+    from repro.phy.lora import LoRaParams
+
+    rng = np.random.default_rng(args.seed)
+    params = LoRaParams(args.sf, args.bandwidth * 1e3)
+    print(f"chirp SER vs RSSI for {params.describe()} "
+          f"({args.symbols} symbols/point)")
+    for rssi in np.arange(args.start, args.stop - 0.5, -args.step):
+        point = lora_symbol_error_rate(params, float(rssi), args.symbols,
+                                       rng)
+        bar = "#" * int(point.error_rate * 40)
+        print(f"  {rssi:7.1f} dBm  {point.error_rate * 100:6.2f}%  {bar}")
+    return 0
+
+
+def _cmd_sweep_ble(args: argparse.Namespace) -> int:
+    from repro.core.sweeps import ble_beacon_error_rate
+
+    rng = np.random.default_rng(args.seed)
+    print(f"BLE beacon BER vs RSSI ({args.packets} packets/point)")
+    for rssi in np.arange(args.start, args.stop - 0.5, -args.step):
+        point = ble_beacon_error_rate(float(rssi), args.packets, rng)
+        marker = " <-- 1e-3" if point.error_rate > 1e-3 else ""
+        print(f"  {rssi:7.1f} dBm  BER {point.error_rate:.5f}{marker}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.fpga import generate_bitstream
+    from repro.testbed import campus_deployment, run_campaign
+
+    rng = np.random.default_rng(args.seed)
+    deployment = campus_deployment(num_nodes=args.nodes)
+    utilization = {"lora": 0.1125, "ble": 0.03}[args.image]
+    image = generate_bitstream(utilization, seed=42)
+    print(f"programming {args.nodes} nodes with the {args.image} image "
+          f"({len(image) // 1024} kB raw)...")
+    campaign = run_campaign(deployment, image, args.image, rng)
+    durations = campaign.durations_s()
+    print(f"  programmed {durations.size}/{args.nodes} nodes")
+    print(f"  mean {campaign.mean_duration_s():.0f} s, "
+          f"min {durations.min():.0f} s, max {durations.max():.0f} s")
+    print(f"  fleet energy {campaign.total_node_energy_j():.0f} J")
+    return 0 if durations.size == args.nodes else 1
+
+
+def _cmd_adr(args: argparse.Namespace) -> int:
+    from repro.protocols.lorawan.adr import fixed_rate_cost, simulate_adr
+    from repro.testbed import campus_deployment
+
+    rng = np.random.default_rng(args.seed)
+    deployment = campus_deployment()
+    _, baseline = fixed_rate_cost(12, 14.0)
+    print(f"{'node':>4s} {'path loss':>10s} {'converged':>14s} "
+          f"{'saving':>8s} {'delivery':>9s}")
+    for node in deployment.nodes:
+        path_loss = (deployment.ap_tx_power_dbm
+                     + deployment.ap_antenna_gain_dbi
+                     - deployment.downlink_rssi_dbm(node, rng))
+        result = simulate_adr(path_loss, rng)
+        saving = baseline / result.energy_j_per_packet
+        print(f"{node.node_id:4d} {path_loss:7.0f} dB "
+              f"SF{result.final_sf}/{result.final_tx_power_dbm:4.0f} dBm "
+              f"{saving:7.1f}x {result.delivery_ratio:9.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="tinySDR reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="platform summary").set_defaults(
+        func=_cmd_info)
+
+    power = sub.add_parser("power", help="power per platform state")
+    power.add_argument("--tx-power", type=float, default=14.0,
+                       help="radio output power for TX states (dBm)")
+    power.set_defaults(func=_cmd_power)
+
+    lora = sub.add_parser("sweep-lora", help="LoRa SER vs RSSI sweep")
+    lora.add_argument("--sf", type=int, default=8)
+    lora.add_argument("--bandwidth", type=float, default=125.0,
+                      help="kHz")
+    lora.add_argument("--start", type=float, default=-110.0)
+    lora.add_argument("--stop", type=float, default=-134.0)
+    lora.add_argument("--step", type=float, default=3.0)
+    lora.add_argument("--symbols", type=int, default=150)
+    lora.add_argument("--seed", type=int, default=0)
+    lora.set_defaults(func=_cmd_sweep_lora)
+
+    ble = sub.add_parser("sweep-ble", help="BLE BER vs RSSI sweep")
+    ble.add_argument("--start", type=float, default=-80.0)
+    ble.add_argument("--stop", type=float, default=-98.0)
+    ble.add_argument("--step", type=float, default=3.0)
+    ble.add_argument("--packets", type=int, default=8)
+    ble.add_argument("--seed", type=int, default=0)
+    ble.set_defaults(func=_cmd_sweep_ble)
+
+    campaign = sub.add_parser("campaign", help="simulate an OTA campaign")
+    campaign.add_argument("--image", choices=("lora", "ble"),
+                          default="ble")
+    campaign.add_argument("--nodes", type=int, default=20)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.set_defaults(func=_cmd_campaign)
+
+    adr = sub.add_parser("adr", help="rate-adaptation study")
+    adr.add_argument("--seed", type=int, default=0)
+    adr.set_defaults(func=_cmd_adr)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Fixed-point quantization helpers.
+
+The tinySDR signal path is fixed-point end to end: the AT86RF215 exposes
+13-bit I/Q samples, the FPGA chirp generator uses quantized sin/cos lookup
+tables, and the FFT core works on bounded-width words.  These helpers model
+that arithmetic on top of numpy float arrays so the PHY simulations exhibit
+the same quantization noise the hardware does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def quantize(values: np.ndarray, bits: int, full_scale: float = 1.0,
+             saturate: bool = True) -> np.ndarray:
+    """Quantize real values to a signed two's-complement grid.
+
+    Values are mapped to the grid ``full_scale * k / 2**(bits-1)`` for
+    integer ``k`` in ``[-2**(bits-1), 2**(bits-1) - 1]``.
+
+    Args:
+        values: real array (any shape).
+        bits: total word width including the sign bit; must be >= 2.
+        full_scale: the analog value mapped to the most negative code.
+        saturate: clip out-of-range values to the rails instead of wrapping.
+
+    Returns:
+        A float array on the quantized grid, same shape as ``values``.
+
+    Raises:
+        ConfigurationError: for a word width below 2 bits or a non-positive
+            full-scale value.
+    """
+    if bits < 2:
+        raise ConfigurationError(f"need at least 2 bits (sign + value), got {bits}")
+    if full_scale <= 0.0:
+        raise ConfigurationError(f"full scale must be positive, got {full_scale!r}")
+    levels = 2 ** (bits - 1)
+    codes = np.round(np.asarray(values, dtype=np.float64) / full_scale * levels)
+    if saturate:
+        codes = np.clip(codes, -levels, levels - 1)
+    else:
+        span = 2.0 * levels
+        codes = ((codes + levels) % span) - levels
+    return codes * full_scale / levels
+
+
+def quantize_complex(values: np.ndarray, bits: int, full_scale: float = 1.0,
+                     saturate: bool = True) -> np.ndarray:
+    """Quantize the real and imaginary parts of a complex array."""
+    values = np.asarray(values)
+    real = quantize(values.real, bits, full_scale, saturate)
+    imag = quantize(values.imag, bits, full_scale, saturate)
+    return real + 1j * imag
+
+
+def to_codes(values: np.ndarray, bits: int, full_scale: float = 1.0) -> np.ndarray:
+    """Convert real values to integer ADC codes (saturating).
+
+    Returns ``int64`` codes in ``[-2**(bits-1), 2**(bits-1) - 1]``.
+    """
+    if bits < 2:
+        raise ConfigurationError(f"need at least 2 bits (sign + value), got {bits}")
+    levels = 2 ** (bits - 1)
+    codes = np.round(np.asarray(values, dtype=np.float64) / full_scale * levels)
+    return np.clip(codes, -levels, levels - 1).astype(np.int64)
+
+
+def from_codes(codes: np.ndarray, bits: int, full_scale: float = 1.0) -> np.ndarray:
+    """Convert integer ADC codes back to analog values."""
+    levels = 2 ** (bits - 1)
+    return np.asarray(codes, dtype=np.float64) * full_scale / levels
+
+
+def quantization_snr_db(bits: int) -> float:
+    """Ideal quantization SNR for a full-scale sine: ``6.02*bits + 1.76`` dB."""
+    if bits < 1:
+        raise ConfigurationError(f"bits must be positive, got {bits}")
+    return 6.02 * bits + 1.76

@@ -1,0 +1,123 @@
+"""Signal measurement: power, SNR and spectra.
+
+These utilities stand in for the paper's bench instruments - the
+MDO4104B-6 spectrum analyzer behind Fig. 8 and the Fluke meter behind the
+power sweeps - on the simulated signal chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import linear_to_db
+
+
+def signal_power(samples: np.ndarray) -> float:
+    """Mean power of a complex baseband signal (linear units)."""
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        raise ConfigurationError("cannot measure power of an empty signal")
+    return float(np.mean(np.abs(samples) ** 2))
+
+
+def signal_power_dbm(samples: np.ndarray, full_scale_dbm: float = 0.0) -> float:
+    """Signal power in dBm relative to a full-scale reference."""
+    power = signal_power(samples)
+    return linear_to_db(power) + full_scale_dbm
+
+
+def scale_to_power(samples: np.ndarray, target_power: float) -> np.ndarray:
+    """Scale a signal to a target mean power (linear units)."""
+    if target_power < 0.0:
+        raise ConfigurationError(
+            f"target power must be non-negative, got {target_power!r}")
+    current = signal_power(samples)
+    if current == 0.0:
+        raise ConfigurationError("cannot scale an all-zero signal")
+    return np.asarray(samples) * np.sqrt(target_power / current)
+
+
+def periodogram(samples: np.ndarray, sample_rate_hz: float,
+                nfft: int | None = None,
+                window: str = "hann") -> tuple[np.ndarray, np.ndarray]:
+    """Windowed periodogram of a complex baseband signal.
+
+    Returns ``(frequencies_hz, psd_db)`` with frequencies spanning
+    ``[-Fs/2, Fs/2)`` (fftshifted) and the PSD normalized so that a
+    full-scale tone reads 0 dB.
+
+    Raises:
+        ConfigurationError: for an empty signal or non-positive rate.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.size == 0:
+        raise ConfigurationError("cannot compute spectrum of an empty signal")
+    if sample_rate_hz <= 0.0:
+        raise ConfigurationError(
+            f"sample rate must be positive, got {sample_rate_hz!r}")
+    if nfft is None:
+        nfft = samples.size
+    if window == "hann":
+        win = np.hanning(samples.size)
+    elif window == "rectangular":
+        win = np.ones(samples.size)
+    else:
+        raise ConfigurationError(f"unknown window {window!r}")
+    coherent_gain = np.sum(win) / win.size
+    windowed = samples * win / coherent_gain
+    spectrum = np.fft.fftshift(np.fft.fft(windowed, n=nfft)) / samples.size
+    psd = np.abs(spectrum) ** 2
+    freqs = np.fft.fftshift(np.fft.fftfreq(nfft, d=1.0 / sample_rate_hz))
+    floor = np.max(psd) * 1e-16 + 1e-300
+    return freqs, 10.0 * np.log10(np.maximum(psd, floor))
+
+
+def spurious_free_dynamic_range_db(samples: np.ndarray,
+                                   sample_rate_hz: float,
+                                   tone_hz: float,
+                                   exclusion_hz: float) -> float:
+    """SFDR: carrier power minus the strongest spur outside the exclusion.
+
+    Fig. 8's claim is qualitative ("no unexpected harmonics introduced by
+    the modulator"); this turns it into a number we can regress on.
+    """
+    freqs, psd_db = periodogram(samples, sample_rate_hz)
+    in_tone = np.abs(freqs - tone_hz) <= exclusion_hz
+    if not np.any(in_tone):
+        raise ConfigurationError(
+            f"tone at {tone_hz!r} Hz not inside the measured band")
+    carrier_db = float(np.max(psd_db[in_tone]))
+    spurs = psd_db[~in_tone]
+    if spurs.size == 0:
+        raise ConfigurationError("exclusion window covers the whole band")
+    return carrier_db - float(np.max(spurs))
+
+
+def estimate_snr_db(signal: np.ndarray, noisy: np.ndarray) -> float:
+    """SNR of ``noisy`` given the clean reference ``signal``."""
+    signal = np.asarray(signal)
+    noisy = np.asarray(noisy)
+    if signal.shape != noisy.shape:
+        raise ConfigurationError("signal and noisy arrays must match in shape")
+    noise = noisy - signal
+    noise_power = float(np.mean(np.abs(noise) ** 2))
+    if noise_power == 0.0:
+        raise ConfigurationError("signals are identical; SNR is unbounded")
+    return linear_to_db(signal_power(signal) / noise_power)
+
+
+def envelope(samples: np.ndarray, smoothing_samples: int = 1) -> np.ndarray:
+    """Magnitude envelope, optionally smoothed with a moving average.
+
+    Models the 2.4 GHz envelope detector used to time BLE channel hops in
+    paper Fig. 13.
+    """
+    magnitude = np.abs(np.asarray(samples))
+    if smoothing_samples < 1:
+        raise ConfigurationError(
+            f"smoothing window must be >= 1 sample, got {smoothing_samples}")
+    if smoothing_samples == 1:
+        return magnitude
+    kernel = np.ones(smoothing_samples) / smoothing_samples
+    return np.convolve(magnitude, kernel, mode="same")

@@ -1,0 +1,98 @@
+"""Pulse shaping for GFSK modulation.
+
+BLE advertisements are GFSK with BT = 0.5 and modulation index 0.45-0.55
+(paper section 4.2): a binary frequency-shift keyed signal whose square
+frequency pulses are smoothed by a Gaussian filter before the frequency is
+integrated into phase.  This module provides the Gaussian pulse design and
+the upsample-and-shape pipeline the paper describes: "First, we upsample
+and apply a Gaussian filter to the bitstream."
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def gaussian_taps(bt_product: float, samples_per_symbol: int,
+                  span_symbols: int = 3) -> np.ndarray:
+    """Gaussian filter taps for GFSK pulse shaping.
+
+    The filter is the Gaussian low-pass defined by the bandwidth-time
+    product ``BT`` (0.5 for BLE), sampled over ``span_symbols`` symbol
+    periods and normalized to unity sum so symbol amplitudes are preserved.
+
+    Raises:
+        ConfigurationError: for non-positive BT, oversampling or span.
+    """
+    if bt_product <= 0.0:
+        raise ConfigurationError(f"BT product must be positive, got {bt_product!r}")
+    if samples_per_symbol < 1:
+        raise ConfigurationError(
+            f"need at least 1 sample per symbol, got {samples_per_symbol}")
+    if span_symbols < 1:
+        raise ConfigurationError(f"span must be >= 1 symbol, got {span_symbols}")
+    # Standard Gaussian pulse: h(t) ~ exp(-2*pi^2*B^2*t^2 / ln(2)) with
+    # B = BT / T; time normalized to symbol periods.
+    num_taps = span_symbols * samples_per_symbol + 1
+    t = (np.arange(num_taps) - (num_taps - 1) / 2.0) / samples_per_symbol
+    alpha = 2.0 * math.pi * bt_product / math.sqrt(math.log(2.0))
+    taps = np.exp(-0.5 * (alpha * t) ** 2)
+    return taps / np.sum(taps)
+
+
+def upsample(bits: np.ndarray, samples_per_symbol: int,
+             levels: tuple[float, float] = (-1.0, 1.0)) -> np.ndarray:
+    """Map bits to NRZ levels and repeat each for one symbol period."""
+    if samples_per_symbol < 1:
+        raise ConfigurationError(
+            f"need at least 1 sample per symbol, got {samples_per_symbol}")
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.size and (bits.min() < 0 or bits.max() > 1):
+        raise ConfigurationError("bit array must contain only 0s and 1s")
+    nrz = np.where(bits == 0, levels[0], levels[1]).astype(np.float64)
+    return np.repeat(nrz, samples_per_symbol)
+
+
+def shape_bits(bits: np.ndarray, bt_product: float, samples_per_symbol: int,
+               span_symbols: int = 3) -> np.ndarray:
+    """Upsample a bitstream and apply the Gaussian filter.
+
+    Returns the smoothed NRZ frequency waveform, padded so that filter
+    transients at both ends are included (length
+    ``len(bits)*sps + span*sps``).
+    """
+    nrz = upsample(bits, samples_per_symbol)
+    taps = gaussian_taps(bt_product, samples_per_symbol, span_symbols)
+    # Extend with the edge values so the first/last symbols reach full
+    # deviation instead of ramping from zero.
+    if nrz.size == 0:
+        return nrz
+    pad = taps.size // 2
+    padded = np.concatenate([
+        np.full(pad, nrz[0]), nrz, np.full(pad, nrz[-1])])
+    return np.convolve(padded, taps, mode="valid")
+
+
+def frequency_to_phase(frequency_waveform: np.ndarray,
+                       deviation_hz: float,
+                       sample_rate_hz: float) -> np.ndarray:
+    """Integrate a normalized frequency waveform into phase.
+
+    ``phase[n] = 2*pi*deviation/Fs * cumsum(freq[:n])`` - the integration
+    step of the paper's pipeline ("we integrate to get the phase").
+
+    Raises:
+        ConfigurationError: for non-positive deviation or sample rate.
+    """
+    if deviation_hz <= 0.0:
+        raise ConfigurationError(
+            f"deviation must be positive, got {deviation_hz!r}")
+    if sample_rate_hz <= 0.0:
+        raise ConfigurationError(
+            f"sample rate must be positive, got {sample_rate_hz!r}")
+    step = 2.0 * math.pi * deviation_hz / sample_rate_hz
+    return step * np.cumsum(np.asarray(frequency_waveform, dtype=np.float64))

@@ -1,0 +1,94 @@
+"""Multirate DSP: decimation and interpolation.
+
+The concurrent receiver's secondary branches bring the shared wide
+sample stream down to their own bandwidth with a decimator (the
+``DECIMATOR`` block of the FPGA resource model); the radio's DAC path
+upsamples baseband to the 4 MHz interface rate.  This module implements
+both directions with proper anti-alias/anti-image filtering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import design_lowpass
+from repro.errors import ConfigurationError
+
+
+def decimate(samples: np.ndarray, factor: int,
+             num_taps: int = 49) -> np.ndarray:
+    """Anti-alias filter and keep every ``factor``-th sample.
+
+    Args:
+        samples: input stream at rate ``fs``.
+        factor: integer decimation ratio.
+        num_taps: anti-alias FIR length.
+
+    Returns:
+        The stream at ``fs / factor``, aligned to the filter's group
+        delay so decimated and original streams line up.
+
+    Raises:
+        ConfigurationError: for a factor below 1.
+    """
+    if factor < 1:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    samples = np.asarray(samples, dtype=np.complex128)
+    if factor == 1:
+        return samples.copy()
+    taps = design_lowpass(num_taps, cutoff_hz=0.45 / factor,
+                          sample_rate_hz=1.0)
+    filtered = np.convolve(samples, taps)
+    delay = (num_taps - 1) // 2
+    aligned = filtered[delay:delay + samples.size]
+    return aligned[::factor]
+
+
+def interpolate(samples: np.ndarray, factor: int,
+                num_taps: int = 49) -> np.ndarray:
+    """Zero-stuff by ``factor`` and suppress the spectral images.
+
+    Returns:
+        The stream at ``fs * factor`` with unity passband gain.
+
+    Raises:
+        ConfigurationError: for a factor below 1.
+    """
+    if factor < 1:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    samples = np.asarray(samples, dtype=np.complex128)
+    if factor == 1:
+        return samples.copy()
+    stuffed = np.zeros(samples.size * factor, dtype=np.complex128)
+    stuffed[::factor] = samples
+    taps = design_lowpass(num_taps, cutoff_hz=0.45 / factor,
+                          sample_rate_hz=1.0) * factor
+    filtered = np.convolve(stuffed, taps)
+    delay = (num_taps - 1) // 2
+    return filtered[delay:delay + stuffed.size]
+
+
+def resample_power_of_two(samples: np.ndarray, from_rate_hz: float,
+                          to_rate_hz: float) -> np.ndarray:
+    """Rate-convert between power-of-two-related rates.
+
+    The standard LoRa bandwidths are successive doublings, so the
+    concurrent receiver only ever needs 2^k conversions.
+
+    Raises:
+        ConfigurationError: when the ratio is not a power of two.
+    """
+    if from_rate_hz <= 0 or to_rate_hz <= 0:
+        raise ConfigurationError("rates must be positive")
+    if to_rate_hz >= from_rate_hz:
+        ratio = to_rate_hz / from_rate_hz
+        factor = int(round(ratio))
+        if abs(ratio - factor) > 1e-9 or factor & (factor - 1):
+            raise ConfigurationError(
+                f"ratio {ratio!r} is not a power of two")
+        return interpolate(samples, factor)
+    ratio = from_rate_hz / to_rate_hz
+    factor = int(round(ratio))
+    if abs(ratio - factor) > 1e-9 or factor & (factor - 1):
+        raise ConfigurationError(f"ratio {ratio!r} is not a power of two")
+    return decimate(samples, factor)

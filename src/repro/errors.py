@@ -1,0 +1,80 @@
+"""Exception hierarchy for the tinySDR reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package-level failures with a single ``except`` clause
+while still distinguishing subsystem-specific conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class RadioError(ReproError):
+    """The radio model rejected an operation (bad state, bad frequency...)."""
+
+
+class FramingError(ReproError):
+    """A serial stream could not be aligned to the expected word structure."""
+
+
+class DemodulationError(ReproError):
+    """A PHY receiver could not recover a packet or symbol stream."""
+
+
+class CodingError(ReproError):
+    """Forward-error-correction encode/decode failed."""
+
+
+class FpgaError(ReproError):
+    """The FPGA model rejected an operation (resources, configuration)."""
+
+
+class ResourceExhaustedError(FpgaError):
+    """A design does not fit in the FPGA's available resources."""
+
+
+class MemoryError_(ReproError):
+    """A memory model (SRAM, flash, FIFO) rejected an access."""
+
+
+class FlashError(MemoryError_):
+    """Flash memory model error (bad address, write to un-erased page...)."""
+
+
+class FifoOverflowError(MemoryError_):
+    """A FIFO was written while full - real-time deadline missed."""
+
+
+class FifoUnderflowError(MemoryError_):
+    """A FIFO was read while empty."""
+
+
+class PowerError(ReproError):
+    """Power-management violation (domain off, regulator overload...)."""
+
+
+class OtaError(ReproError):
+    """Over-the-air programming protocol failure."""
+
+
+class CompressionError(OtaError):
+    """miniLZO compression or decompression failed."""
+
+
+class ProtocolError(ReproError):
+    """A MAC/link protocol state machine received an invalid event."""
+
+
+class MicError(ProtocolError):
+    """LoRaWAN message integrity check failed."""
+
+
+class ChannelError(ReproError):
+    """Channel model misuse (mismatched lengths, invalid parameters)."""

@@ -1,0 +1,27 @@
+"""GNU Radio-style flowgraph framework over the repro components."""
+
+from repro.flowgraph.blocks import (
+    AddBlock,
+    AwgnChannelBlock,
+    FirFilterBlock,
+    GainBlock,
+    LoRaPacketSource,
+    LoRaReceiverSink,
+    VectorSink,
+    VectorSource,
+)
+from repro.flowgraph.graph import Block, Connection, FlowGraph
+
+__all__ = [
+    "AddBlock",
+    "AwgnChannelBlock",
+    "Block",
+    "Connection",
+    "FirFilterBlock",
+    "FlowGraph",
+    "GainBlock",
+    "LoRaPacketSource",
+    "LoRaReceiverSink",
+    "VectorSink",
+    "VectorSource",
+]

@@ -1,0 +1,97 @@
+"""Sample FIFO built on the FPGA's embedded SRAM (paper section 3.2.2).
+
+The deserialized I/Q samples are written into a FIFO implemented with the
+ECP5's embedded block RAM; the paper notes the SRAM can buffer up to
+126 kB and runs far faster than the 4 MHz sample rate, so it never limits
+real-time processing.  This model enforces the capacity and surfaces
+overflow/underflow - the failure mode a real-time pipeline must avoid.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FifoOverflowError, FifoUnderflowError
+
+DEFAULT_CAPACITY_BYTES = 126 * 1024
+BYTES_PER_SAMPLE = 4
+"""13-bit I + 13-bit Q + framing, stored as one 32-bit word."""
+
+
+class SampleFifo:
+    """Bounded FIFO of complex samples with byte-capacity accounting."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES) -> None:
+        if capacity_bytes < BYTES_PER_SAMPLE:
+            raise ConfigurationError(
+                f"capacity must hold at least one sample, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.capacity_samples = capacity_bytes // BYTES_PER_SAMPLE
+        self._queue: deque[complex] = deque()
+        self.overflow_count = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def free_samples(self) -> int:
+        """Remaining capacity in samples."""
+        return self.capacity_samples - len(self._queue)
+
+    def write(self, samples: np.ndarray, drop_on_overflow: bool = False) -> int:
+        """Append samples.
+
+        Args:
+            samples: complex samples to enqueue.
+            drop_on_overflow: drop excess samples (counting them) instead
+                of raising - the behaviour of a hardware FIFO whose write
+                enable is simply ignored when full.
+
+        Returns:
+            Number of samples actually written.
+
+        Raises:
+            FifoOverflowError: on overflow when ``drop_on_overflow`` is
+                False (a missed real-time deadline).
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.size > self.free_samples:
+            if not drop_on_overflow:
+                raise FifoOverflowError(
+                    f"writing {samples.size} samples into {self.free_samples} "
+                    "free slots - real-time deadline missed")
+            writable = self.free_samples
+            self.overflow_count += samples.size - writable
+            samples = samples[:writable]
+        self._queue.extend(samples.tolist())
+        self.peak_occupancy = max(self.peak_occupancy, len(self._queue))
+        return samples.size
+
+    def read(self, count: int) -> np.ndarray:
+        """Dequeue ``count`` samples.
+
+        Raises:
+            FifoUnderflowError: if fewer than ``count`` samples are queued.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        if count > len(self._queue):
+            raise FifoUnderflowError(
+                f"reading {count} samples from a FIFO holding "
+                f"{len(self._queue)}")
+        return np.asarray([self._queue.popleft() for _ in range(count)],
+                          dtype=np.complex128)
+
+    def clear(self) -> None:
+        """Drop all queued samples (overflow/peak statistics persist)."""
+        self._queue.clear()
+
+    def max_buffer_duration_s(self, sample_rate_hz: float) -> float:
+        """How long the FIFO can absorb a stalled consumer."""
+        if sample_rate_hz <= 0:
+            raise ConfigurationError(
+                f"sample rate must be positive, got {sample_rate_hz!r}")
+        return self.capacity_samples / sample_rate_hz

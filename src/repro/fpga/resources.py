@@ -1,0 +1,223 @@
+"""FPGA resource accounting for the LFE5U-25F (paper Table 6).
+
+TinySDR's FPGA is a Lattice ECP5 LFE5U-25F with 24k LUTs.  The paper
+reports the utilization of each case-study design: the LoRa modulator
+takes 976 LUTs (4 %) at every SF; the demodulator grows with SF from
+2656 LUTs (10 %, SF6) to 2818 LUTs (11 %, SF12) because the FFT block
+scales; BLE beacon generation takes 3 %; and the concurrent dual-LoRa
+receiver takes 17 %.
+
+The model composes designs from a library of blocks whose LUT budgets
+are calibrated so the composed totals reproduce Table 6 exactly, while
+still letting users price out *new* designs (more branches, other SFs)
+the way the paper's section 6 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ResourceExhaustedError
+
+LFE5U_25F_LUTS = 24_000
+"""Logic capacity of the LFE5U-25F ('24 k logic units', paper 3.1.1)."""
+
+LFE5U_25F_BRAM_BITS = 1_008 * 1024
+"""Embedded SRAM: the paper buffers up to 126 kB = 1008 kbit."""
+
+
+@dataclass(frozen=True)
+class Block:
+    """One synthesizable block and its resource cost.
+
+    Attributes:
+        name: block identifier.
+        luts: 4-input LUT count.
+        bram_bits: embedded RAM bits.
+    """
+
+    name: str
+    luts: int
+    bram_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.luts < 0 or self.bram_bits < 0:
+            raise ConfigurationError(
+                f"block {self.name!r} has negative resources")
+
+
+# Block library.  LUT budgets are calibrated so composed designs land on
+# the paper's Table 6 totals; see the design functions below.
+IQ_DESERIALIZER = Block("iq_deserializer", luts=140)
+IQ_SERIALIZER = Block("iq_serializer", luts=160)
+FIR_LOWPASS_14TAP = Block("fir_lowpass_14tap", luts=390)
+FIFO_CONTROLLER = Block("fifo_controller", luts=90, bram_bits=64 * 1024 * 8)
+COMPLEX_MULTIPLIER = Block("complex_multiplier", luts=120)
+CHIRP_GENERATOR = Block("chirp_generator", luts=420, bram_bits=2 * 1024 * 13)
+SYMBOL_DETECTOR = Block("symbol_detector", luts=130)
+PACKET_GENERATOR = Block("packet_generator", luts=180)
+TX_CONTROL = Block("tx_control", luts=156)
+RX_CONTROL = Block("rx_control", luts=110)
+PLL_CLOCKING = Block("pll_clocking", luts=60)
+
+# BLE blocks (together 720 LUTs = 3 % of the device, paper 5.2).
+BLE_CRC24 = Block("ble_crc24", luts=80)
+BLE_WHITENER = Block("ble_whitener", luts=50)
+BLE_HEADER_BUILDER = Block("ble_header_builder", luts=70)
+BLE_GAUSSIAN_FILTER = Block("ble_gaussian_filter", luts=150)
+BLE_PHASE_INTEGRATOR = Block("ble_phase_integrator", luts=50)
+BLE_NCO = Block("ble_nco", luts=100, bram_bits=2 * 1024 * 13)
+BLE_TX_CONTROL = Block("ble_tx_control", luts=60)
+
+# Secondary-branch blocks of the concurrent receiver: a second parameter
+# set for the shared chirp tables, a decimator bringing the wide stream
+# down to the branch bandwidth, and an FFT that reuses the primary
+# branch's twiddle ROMs.
+DECIMATOR = Block("decimator", luts=60)
+CHIRP_GENERATOR_SECONDARY = Block("chirp_generator_secondary", luts=140)
+FFT_TWIDDLE_SHARING_LUTS = 380
+"""LUTs saved per secondary FFT by reusing the primary's twiddle ROMs."""
+
+# FFT core LUT usage per spreading factor, calibrated from Table 6:
+# fft(SF) = RX_total(SF) - fixed RX pipeline (1400 LUTs).
+FFT_LUTS_BY_SF = {
+    6: 1256, 7: 1270, 8: 1300, 9: 1342, 10: 1386, 11: 1394, 12: 1418,
+}
+
+
+def fft_block(spreading_factor: int, oversampling: int = 1) -> Block:
+    """The Lattice FFT IP core sized for ``2**SF * oversampling`` points.
+
+    Each doubling of the transform length adds one butterfly stage; the
+    per-stage increment is taken from the calibrated SF ladder.
+    """
+    if not 6 <= spreading_factor <= 12:
+        raise ConfigurationError(
+            f"spreading factor must be 6..12, got {spreading_factor}")
+    if oversampling < 1 or (oversampling & (oversampling - 1)):
+        raise ConfigurationError(
+            f"oversampling must be a power of two, got {oversampling}")
+    luts = FFT_LUTS_BY_SF[spreading_factor]
+    extra_stages = oversampling.bit_length() - 1
+    per_stage = 24  # mean Table 6 increment per added stage
+    length = (2 ** spreading_factor) * oversampling
+    return Block(f"fft_{length}", luts=luts + per_stage * extra_stages,
+                 bram_bits=length * 2 * 16)
+
+
+@dataclass(frozen=True)
+class DesignReport:
+    """Resource usage summary of a composed design."""
+
+    name: str
+    blocks: tuple[Block, ...]
+
+    @property
+    def luts(self) -> int:
+        """Total LUTs."""
+        return sum(b.luts for b in self.blocks)
+
+    @property
+    def bram_bits(self) -> int:
+        """Total BRAM bits."""
+        return sum(b.bram_bits for b in self.blocks)
+
+    @property
+    def lut_utilization(self) -> float:
+        """Fraction of the LFE5U-25F's LUTs consumed."""
+        return self.luts / LFE5U_25F_LUTS
+
+    def check_fits(self) -> None:
+        """Raise if the design exceeds the device.
+
+        Raises:
+            ResourceExhaustedError: when LUTs or BRAM run out.
+        """
+        if self.luts > LFE5U_25F_LUTS:
+            raise ResourceExhaustedError(
+                f"design {self.name!r} needs {self.luts} LUTs, device has "
+                f"{LFE5U_25F_LUTS}")
+        if self.bram_bits > LFE5U_25F_BRAM_BITS:
+            raise ResourceExhaustedError(
+                f"design {self.name!r} needs {self.bram_bits} BRAM bits, "
+                f"device has {LFE5U_25F_BRAM_BITS}")
+
+
+def lora_tx_design(spreading_factor: int = 8) -> DesignReport:
+    """LoRa modulator design (Table 6: 976 LUTs at every SF).
+
+    The modulator's chirp generator is SF-agnostic ("supports all LoRa
+    configurations with different SF with no additional cost").
+    """
+    if not 6 <= spreading_factor <= 12:
+        raise ConfigurationError(
+            f"spreading factor must be 6..12, got {spreading_factor}")
+    return DesignReport(
+        name=f"lora_tx_sf{spreading_factor}",
+        blocks=(PACKET_GENERATOR, CHIRP_GENERATOR, IQ_SERIALIZER,
+                PLL_CLOCKING, TX_CONTROL))
+
+
+def lora_rx_design(spreading_factor: int,
+                   oversampling: int = 1) -> DesignReport:
+    """LoRa demodulator design (Table 6: 2656-2818 LUTs, SF 6-12)."""
+    return DesignReport(
+        name=f"lora_rx_sf{spreading_factor}",
+        blocks=(IQ_DESERIALIZER, FIR_LOWPASS_14TAP, FIFO_CONTROLLER,
+                COMPLEX_MULTIPLIER, CHIRP_GENERATOR,
+                fft_block(spreading_factor, oversampling),
+                SYMBOL_DETECTOR, RX_CONTROL))
+
+
+def ble_tx_design() -> DesignReport:
+    """BLE beacon generator design (paper: 3 % of the FPGA)."""
+    return DesignReport(
+        name="ble_tx",
+        blocks=(BLE_HEADER_BUILDER, BLE_CRC24, BLE_WHITENER,
+                BLE_GAUSSIAN_FILTER, BLE_PHASE_INTEGRATOR, BLE_NCO,
+                IQ_SERIALIZER, BLE_TX_CONTROL))
+
+
+def concurrent_rx_design(spreading_factors: list[int]) -> DesignReport:
+    """Parallel multi-branch LoRa receiver (paper section 6: 17 % for two).
+
+    The I/Q deserializer, FIR front-end, FIFO and control are shared.
+    The primary branch is a full demodulator; each further branch adds a
+    decimator (bringing the shared wide stream down to its bandwidth), a
+    secondary chirp parameter set reusing the sin/cos tables, a complex
+    multiplier, an FFT sharing the primary's twiddle ROMs, and a symbol
+    detector.
+
+    Args:
+        spreading_factors: one SF per branch (first entry is primary).
+
+    Raises:
+        ConfigurationError: for an empty branch list.
+        ResourceExhaustedError: if the composition exceeds the device.
+    """
+    if not spreading_factors:
+        raise ConfigurationError("need at least one branch")
+    blocks: list[Block] = [IQ_DESERIALIZER, FIR_LOWPASS_14TAP,
+                           FIFO_CONTROLLER, RX_CONTROL]
+    for index, sf in enumerate(spreading_factors):
+        fft = fft_block(sf, 1)
+        if index == 0:
+            blocks.extend([CHIRP_GENERATOR, COMPLEX_MULTIPLIER, fft,
+                           SYMBOL_DETECTOR])
+        else:
+            shared_fft = Block(
+                fft.name + "_shared",
+                luts=max(fft.luts - FFT_TWIDDLE_SHARING_LUTS, 0),
+                bram_bits=fft.bram_bits)
+            blocks.extend([DECIMATOR, CHIRP_GENERATOR_SECONDARY,
+                           COMPLEX_MULTIPLIER, shared_fft, SYMBOL_DETECTOR])
+    report = DesignReport(
+        name=f"concurrent_rx_x{len(spreading_factors)}", blocks=tuple(blocks))
+    report.check_fits()
+    return report
+
+
+def table6() -> dict[int, tuple[int, int]]:
+    """Reproduce paper Table 6: ``{SF: (TX LUTs, RX LUTs)}``."""
+    return {sf: (lora_tx_design(sf).luts, lora_rx_design(sf).luts)
+            for sf in range(6, 13)}

@@ -1,0 +1,25 @@
+"""MCU substrate: the MSP432 model and its timer/event scheduler."""
+
+from repro.mcu.msp432 import (
+    FLASH_BYTES,
+    McuMode,
+    MemoryBank,
+    MemoryRegion,
+    MODE_POWER_W,
+    Msp432,
+    SRAM_BYTES,
+    firmware_footprint_report,
+)
+from repro.mcu.scheduler import EventScheduler
+
+__all__ = [
+    "EventScheduler",
+    "FLASH_BYTES",
+    "MODE_POWER_W",
+    "McuMode",
+    "MemoryBank",
+    "MemoryRegion",
+    "Msp432",
+    "SRAM_BYTES",
+    "firmware_footprint_report",
+]

@@ -1,0 +1,98 @@
+"""Discrete-event timer scheduler.
+
+The MCU "pre-programs a timer to periodically turn off the FPGA and
+switch ... to the backbone radio to listen for new firmware updates"
+(paper section 3.4).  Duty cycling, OTA wake windows and the testbed
+campaign all run on this small deterministic event queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(order=True)
+class _Event:
+    time_s: float
+    sequence: int
+    name: str = field(compare=False)
+    action: Callable[["EventScheduler"], None] = field(compare=False)
+
+
+class EventScheduler:
+    """Minimal deterministic discrete-event loop.
+
+    Events fire in time order (FIFO among ties).  Actions receive the
+    scheduler and may schedule further events, which is how periodic
+    timers are expressed.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._counter = itertools.count()
+        self.now_s = 0.0
+        self.fired: list[tuple[float, str]] = []
+
+    def schedule_at(self, time_s: float, name: str,
+                    action: Callable[["EventScheduler"], None]) -> None:
+        """Schedule an absolute-time event.
+
+        Raises:
+            ConfigurationError: for events in the past.
+        """
+        if time_s < self.now_s:
+            raise ConfigurationError(
+                f"cannot schedule {name!r} at {time_s} before now {self.now_s}")
+        heapq.heappush(self._queue,
+                       _Event(time_s, next(self._counter), name, action))
+
+    def schedule_after(self, delay_s: float, name: str,
+                       action: Callable[["EventScheduler"], None]) -> None:
+        """Schedule an event ``delay_s`` from now."""
+        if delay_s < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay_s!r}")
+        self.schedule_at(self.now_s + delay_s, name, action)
+
+    def schedule_every(self, period_s: float, name: str,
+                       action: Callable[["EventScheduler"], None],
+                       start_s: float | None = None) -> None:
+        """Schedule a periodic event (re-arms itself after each firing)."""
+        if period_s <= 0:
+            raise ConfigurationError(
+                f"period must be positive, got {period_s!r}")
+
+        def wrapper(scheduler: "EventScheduler") -> None:
+            action(scheduler)
+            scheduler.schedule_after(period_s, name, wrapper)
+
+        self.schedule_at(self.now_s + period_s if start_s is None else start_s,
+                         name, wrapper)
+
+    def run_until(self, end_time_s: float, max_events: int = 1_000_000) -> int:
+        """Process events up to ``end_time_s``; returns the count fired.
+
+        Raises:
+            ConfigurationError: when the event budget is exhausted (a
+                runaway self-scheduling loop).
+        """
+        count = 0
+        while self._queue and self._queue[0].time_s <= end_time_s:
+            if count >= max_events:
+                raise ConfigurationError(
+                    f"exceeded {max_events} events before {end_time_s}")
+            event = heapq.heappop(self._queue)
+            self.now_s = event.time_s
+            self.fired.append((event.time_s, event.name))
+            event.action(self)
+            count += 1
+        self.now_s = max(self.now_s, end_time_s)
+        return count
+
+    def pending(self) -> int:
+        """Number of queued events."""
+        return len(self._queue)

@@ -1,0 +1,77 @@
+"""Over-the-air programming: compression, flash, MAC and the updater."""
+
+from repro.ota.ap import AccessPoint, CampaignTimeline, NodeSession
+from repro.ota.blocks import (
+    BLOCK_BYTES,
+    CompressedBlock,
+    compression_summary,
+    reassemble,
+    split_and_compress,
+    total_compressed_bytes,
+)
+from repro.ota.flash import (
+    FlashLayout,
+    FlashStats,
+    Mx25R6435F,
+    PAGE_BYTES,
+    SECTOR_BYTES,
+)
+from repro.ota.broadcast import BroadcastReport, simulate_broadcast_campaign
+from repro.ota.mac import (
+    Ack,
+    DATA_PAYLOAD_BYTES,
+    DEFAULT_OTA_PARAMS,
+    DataPacket,
+    EndOfUpdate,
+    OTA_PREAMBLE_SYMBOLS,
+    OtaLink,
+    ProgrammingRequest,
+    ReadyMessage,
+    TransferReport,
+    fragment_image,
+    reassemble_image,
+    simulate_transfer,
+)
+from repro.ota.minilzo import compress, compression_ratio, decompress
+from repro.ota.updater import (
+    DECOMPRESS_BANDWIDTH_BPS,
+    OtaUpdater,
+    UpdateReport,
+)
+
+__all__ = [
+    "AccessPoint",
+    "Ack",
+    "BroadcastReport",
+    "CampaignTimeline",
+    "NodeSession",
+    "simulate_broadcast_campaign",
+    "BLOCK_BYTES",
+    "CompressedBlock",
+    "DATA_PAYLOAD_BYTES",
+    "DECOMPRESS_BANDWIDTH_BPS",
+    "DEFAULT_OTA_PARAMS",
+    "DataPacket",
+    "EndOfUpdate",
+    "FlashLayout",
+    "FlashStats",
+    "Mx25R6435F",
+    "OTA_PREAMBLE_SYMBOLS",
+    "OtaLink",
+    "OtaUpdater",
+    "PAGE_BYTES",
+    "ProgrammingRequest",
+    "ReadyMessage",
+    "SECTOR_BYTES",
+    "TransferReport",
+    "UpdateReport",
+    "compress",
+    "compression_ratio",
+    "compression_summary",
+    "decompress",
+    "fragment_image",
+    "reassemble_image",
+    "simulate_transfer",
+    "split_and_compress",
+    "total_compressed_bytes",
+]

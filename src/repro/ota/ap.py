@@ -1,0 +1,167 @@
+"""Access-point-side OTA orchestration (paper section 3.4).
+
+The node-side protocol lives in :mod:`repro.ota.mac`; this module is the
+AP's view of a whole campaign: "the AP sends a programming request as a
+LoRa packet with specific device IDs indicating the nodes to be
+programmed along with the time they should wake up to receive the
+update" - then works through the nodes sequentially, retrying nodes
+whose sessions fail, against each node's periodic listen window.
+
+The scheduler is deterministic (built on
+:class:`repro.mcu.scheduler.EventScheduler` semantics but simple enough
+to run inline), so campaign timelines are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, OtaError
+from repro.ota.mac import OtaLink, ProgrammingRequest
+from repro.ota.updater import OtaUpdater, UpdateReport
+from repro.testbed.deployment import Deployment
+
+LISTEN_PERIOD_S = 60.0
+"""Nodes 'periodically turn off the FPGA and switch ... to the backbone
+radio to listen for new firmware updates' - this is that period."""
+
+LISTEN_WINDOW_S = 2.0
+"""How long each listen window stays open."""
+
+
+@dataclass
+class NodeSession:
+    """One node's scheduled programming slot and its outcome.
+
+    Attributes:
+        node_id: testbed identifier.
+        wake_time_s: when the node was told to wake for its update.
+        attempts: sessions tried (first + retries).
+        report: the successful session's report, if any.
+    """
+
+    node_id: int
+    wake_time_s: float
+    attempts: int = 0
+    report: UpdateReport | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the node was programmed."""
+        return self.report is not None
+
+
+@dataclass(frozen=True)
+class CampaignTimeline:
+    """Full AP-side campaign outcome.
+
+    Attributes:
+        sessions: per-node scheduling and results.
+        request_time_s: airtime spent announcing the campaign.
+        total_time_s: campaign wall-clock from request to last session.
+        retries: failed sessions that were re-attempted.
+    """
+
+    sessions: tuple[NodeSession, ...]
+    request_time_s: float
+    total_time_s: float
+    retries: int
+
+    @property
+    def success_count(self) -> int:
+        """Nodes programmed."""
+        return sum(1 for s in self.sessions if s.succeeded)
+
+
+class AccessPoint:
+    """The testbed's programming AP.
+
+    Args:
+        deployment: node placements and channel.
+        image: the firmware image to distribute.
+        max_attempts_per_node: sessions to try before giving up on a
+            node (each retry waits for the node's next listen window).
+    """
+
+    def __init__(self, deployment: Deployment, image: bytes,
+                 max_attempts_per_node: int = 3) -> None:
+        if not image:
+            raise ConfigurationError("cannot distribute an empty image")
+        if max_attempts_per_node < 1:
+            raise ConfigurationError(
+                "need at least one attempt per node, got "
+                f"{max_attempts_per_node}")
+        self.deployment = deployment
+        self.image = image
+        self.max_attempts = max_attempts_per_node
+
+    def build_request(self, wake_times: dict[int, float],
+                      image_id: int = 1) -> ProgrammingRequest:
+        """The campaign announcement packet.
+
+        Raises:
+            ConfigurationError: for an empty schedule.
+        """
+        if not wake_times:
+            raise ConfigurationError("schedule at least one node")
+        device_ids = tuple(sorted(wake_times))
+        return ProgrammingRequest(
+            device_ids=device_ids,
+            wake_times_s=tuple(wake_times[d] for d in device_ids),
+            image_id=image_id)
+
+    def schedule(self, estimated_session_s: float,
+                 guard_s: float = 5.0) -> dict[int, float]:
+        """Assign staggered wake times: node k wakes after k sessions.
+
+        Each node's wake time is rounded up to its next listen window
+        (nodes only hear the announcement while listening).
+        """
+        wake_times: dict[int, float] = {}
+        cursor = LISTEN_WINDOW_S
+        for node in self.deployment.nodes:
+            aligned = np.ceil(cursor / LISTEN_PERIOD_S) * LISTEN_PERIOD_S \
+                if cursor > LISTEN_WINDOW_S else cursor
+            wake_times[node.node_id] = float(aligned)
+            cursor = float(aligned) + estimated_session_s + guard_s
+        return wake_times
+
+    def run_campaign(self, rng: np.random.Generator,
+                     is_fpga_image: bool = True) -> CampaignTimeline:
+        """Announce, then program every node at its slot, with retries."""
+        request = self.build_request(self.schedule(150.0))
+        link = OtaLink()
+        request_airtime = link.airtime_s(request.wire_bytes)
+
+        sessions: list[NodeSession] = []
+        clock = request_airtime
+        retries = 0
+        for node in self.deployment.nodes:
+            session = NodeSession(node_id=node.node_id, wake_time_s=clock)
+            for attempt in range(self.max_attempts):
+                session.attempts += 1
+                node_link = OtaLink(
+                    downlink_rssi_dbm=self.deployment.downlink_rssi_dbm(
+                        node, rng),
+                    uplink_rssi_dbm=self.deployment.uplink_rssi_dbm(
+                        node, rng))
+                updater = OtaUpdater()
+                try:
+                    report = updater.update(self.image, node_link, rng,
+                                            is_fpga_image=is_fpga_image)
+                except OtaError:
+                    # Wait for the node's next listen window, retry.
+                    retries += 1
+                    clock += LISTEN_PERIOD_S
+                    continue
+                session.report = report
+                clock += report.total_time_s
+                break
+            sessions.append(session)
+        return CampaignTimeline(
+            sessions=tuple(sessions),
+            request_time_s=request_airtime,
+            total_time_s=clock,
+            retries=retries)

@@ -1,0 +1,199 @@
+"""BLE advertising packet construction (paper section 4.2).
+
+Non-connectable advertisements (``ADV_NONCONN_IND``) are broadcast packets:
+a fixed preamble (0xAA) and access address (0x8E89BED6), a PDU beginning
+with a 2-byte header (type + length) followed by the advertiser address
+and data, and a 3-byte CRC.  The CRC is a 24-bit LFSR with polynomial
+``x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1`` seeded with 0x555555, fed
+the PDU LSB first.  Whitening covers PDU and CRC using a 7-bit LFSR with
+polynomial ``x^7 + x^4 + 1`` seeded from the channel number.  All of this
+is implemented exactly as the Bluetooth core specification (and the paper)
+describes - the tinySDR FPGA runs the same two LFSRs in Verilog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DemodulationError
+
+PREAMBLE_BYTE = 0xAA
+ACCESS_ADDRESS = 0x8E89BED6
+CRC_INIT = 0x555555
+CRC_POLY_TAPS = (10, 9, 6, 4, 3, 1, 0)
+"""Feedback taps of the CRC-24 polynomial (exponents below 24)."""
+
+ADV_NONCONN_IND = 0x2
+ADV_IND = 0x0
+ADV_SCAN_IND = 0x6
+
+MAX_ADV_DATA_BYTES = 31
+ADV_ADDRESS_BYTES = 6
+
+
+def bytes_to_bits_lsb_first(data: bytes) -> np.ndarray:
+    """Expand bytes into a bit array, least-significant bit first."""
+    if not data:
+        return np.zeros(0, dtype=np.int64)
+    array = np.frombuffer(bytes(data), dtype=np.uint8)
+    bits = np.unpackbits(array, bitorder="little")
+    return bits.astype(np.int64)
+
+
+def bits_to_bytes_lsb_first(bits: np.ndarray) -> bytes:
+    """Pack a bit array (LSB first) into bytes; length must be a multiple of 8."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8:
+        raise ConfigurationError(
+            f"bit count must be a multiple of 8, got {bits.size}")
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def crc24(pdu: bytes, initial: int = CRC_INIT) -> bytes:
+    """Compute the BLE CRC-24 over a PDU.
+
+    The LFSR is seeded with ``initial`` (0x555555 for advertising
+    channels), the PDU is shifted in LSB first, and the final register
+    state is the CRC, transmitted LSB first.
+
+    Returns:
+        Three CRC bytes in transmission order.
+    """
+    if not 0 <= initial < (1 << 24):
+        raise ConfigurationError(f"CRC init must be 24 bits, got {initial:#x}")
+    state = initial
+    for bit in bytes_to_bits_lsb_first(pdu):
+        feedback = ((state >> 23) & 1) ^ int(bit)
+        state = (state << 1) & 0xFFFFFF
+        if feedback:
+            for tap in CRC_POLY_TAPS:
+                state ^= 1 << tap
+    # Transmit the register MSB-first per the spec's bit ordering, which
+    # after byte packing (LSB-first bits) yields these three bytes.
+    reversed_bits = [(state >> (23 - i)) & 1 for i in range(24)]
+    return bits_to_bytes_lsb_first(np.asarray(reversed_bits))
+
+
+def whitening_bits(num_bits: int, channel: int) -> np.ndarray:
+    """Whitening sequence for a data/advertising channel.
+
+    The 7-bit LFSR (``x^7 + x^4 + 1``) is initialized with bit 6 set to 1
+    and bits 5..0 holding the channel index, then clocked once per bit.
+
+    Raises:
+        ConfigurationError: for a channel outside 0..39.
+    """
+    if not 0 <= channel <= 39:
+        raise ConfigurationError(f"BLE channel must be 0..39, got {channel}")
+    if num_bits < 0:
+        raise ConfigurationError(f"bit count must be >= 0, got {num_bits}")
+    state = 0x40 | channel
+    out = np.empty(num_bits, dtype=np.int64)
+    for i in range(num_bits):
+        bit = (state >> 6) & 1
+        out[i] = bit
+        state = ((state << 1) & 0x7F)
+        if bit:
+            state ^= 0x11  # x^4 and x^0 taps
+    return out
+
+
+def whiten_pdu_and_crc(data: bytes, channel: int) -> bytes:
+    """Apply (or remove - XOR is involutive) channel whitening."""
+    bits = bytes_to_bits_lsb_first(data)
+    sequence = whitening_bits(bits.size, channel)
+    return bits_to_bytes_lsb_first(bits ^ sequence)
+
+
+@dataclass(frozen=True)
+class AdvPacket:
+    """One BLE advertising packet.
+
+    Attributes:
+        advertiser_address: the 6-byte AdvA field (little-endian on air).
+        adv_data: 0..31 bytes of advertisement payload.
+        pdu_type: 4-bit advertising PDU type.
+    """
+
+    advertiser_address: bytes
+    adv_data: bytes
+    pdu_type: int = ADV_NONCONN_IND
+
+    def __post_init__(self) -> None:
+        if len(self.advertiser_address) != ADV_ADDRESS_BYTES:
+            raise ConfigurationError(
+                f"advertiser address must be {ADV_ADDRESS_BYTES} bytes, "
+                f"got {len(self.advertiser_address)}")
+        if len(self.adv_data) > MAX_ADV_DATA_BYTES:
+            raise ConfigurationError(
+                f"advertising data limited to {MAX_ADV_DATA_BYTES} bytes, "
+                f"got {len(self.adv_data)}")
+        if not 0 <= self.pdu_type <= 0xF:
+            raise ConfigurationError(
+                f"PDU type must be a 4-bit value, got {self.pdu_type}")
+
+    def pdu(self) -> bytes:
+        """Header + AdvA + AdvData."""
+        length = ADV_ADDRESS_BYTES + len(self.adv_data)
+        header = bytes((self.pdu_type & 0xF, length))
+        return header + self.advertiser_address + self.adv_data
+
+    def air_bytes(self, channel: int) -> bytes:
+        """Full over-the-air byte sequence for a given advertising channel.
+
+        Preamble and access address are never whitened; the PDU and CRC
+        are whitened with the channel-seeded LFSR.
+        """
+        pdu = self.pdu()
+        body = whiten_pdu_and_crc(pdu + crc24(pdu), channel)
+        access = ACCESS_ADDRESS.to_bytes(4, "little")
+        return bytes((PREAMBLE_BYTE,)) + access + body
+
+    def air_bits(self, channel: int) -> np.ndarray:
+        """On-air bit sequence, LSB first, ready for the GFSK modulator."""
+        return bytes_to_bits_lsb_first(self.air_bytes(channel))
+
+
+@dataclass(frozen=True)
+class ParsedAdvPacket:
+    """A received advertising packet with its integrity status."""
+
+    packet: AdvPacket
+    crc_ok: bool
+    channel: int
+
+
+def parse_air_bytes(air: bytes, channel: int) -> ParsedAdvPacket:
+    """Parse an over-the-air byte sequence back into an advertisement.
+
+    Raises:
+        DemodulationError: if the stream is too short or the access
+            address does not match.
+    """
+    if len(air) < 1 + 4 + 2 + 3:
+        raise DemodulationError(f"air stream of {len(air)} bytes is too short")
+    access = int.from_bytes(air[1:5], "little")
+    if access != ACCESS_ADDRESS:
+        raise DemodulationError(
+            f"access address {access:#010x} does not match advertising "
+            f"channel value {ACCESS_ADDRESS:#010x}")
+    body = whiten_pdu_and_crc(air[5:], channel)
+    header, length = body[0], body[1]
+    pdu_type = header & 0xF
+    pdu_end = 2 + length
+    if pdu_end + 3 > len(body):
+        raise DemodulationError(
+            f"PDU length {length} exceeds the captured stream")
+    pdu = body[:pdu_end]
+    received_crc = body[pdu_end:pdu_end + 3]
+    crc_ok = crc24(pdu) == received_crc
+    if length < ADV_ADDRESS_BYTES:
+        raise DemodulationError(
+            f"PDU length {length} cannot hold an advertiser address")
+    packet = AdvPacket(
+        advertiser_address=pdu[2:2 + ADV_ADDRESS_BYTES],
+        adv_data=pdu[2 + ADV_ADDRESS_BYTES:pdu_end],
+        pdu_type=pdu_type)
+    return ParsedAdvPacket(packet=packet, crc_ok=crc_ok, channel=channel)

@@ -1,0 +1,71 @@
+"""LoRa PHY: chirp-spread-spectrum modulation, demodulation and coding.
+
+Implements the full pipeline of paper Fig. 6 - quantized chirp generation,
+packet framing (Fig. 5), the Gray/whiten/Hamming/interleave code chain,
+dechirp-FFT demodulation with packet synchronization, and the concurrent
+orthogonal receiver of section 6.
+"""
+
+from repro.phy.lora.chirp import (
+    QuantizedChirpGenerator,
+    chirp_train,
+    ideal_chirp,
+    ideal_downchirp,
+    partial_downchirps,
+)
+from repro.phy.lora.codec import DecodedPayload, LoRaCodec, crc16_ccitt
+from repro.phy.lora.concurrent import (
+    BranchResult,
+    ConcurrentReceiver,
+    align_to_rate,
+    common_sample_rate,
+)
+from repro.phy.lora.demodulator import (
+    LoRaDemodulator,
+    PacketSynchronizer,
+    SymbolDecision,
+    SymbolDemodulator,
+)
+from repro.phy.lora.modulator import LoRaModulator
+from repro.phy.lora.packet import (
+    LoRaFrame,
+    SyncResult,
+    sync_symbols_for_word,
+    sync_word_from_symbols,
+)
+from repro.phy.lora.params import (
+    LoRaParams,
+    MAX_SPREADING_FACTOR,
+    MIN_SPREADING_FACTOR,
+    PREAMBLE_SYMBOLS,
+    STANDARD_BANDWIDTHS_HZ,
+)
+
+__all__ = [
+    "BranchResult",
+    "ConcurrentReceiver",
+    "DecodedPayload",
+    "LoRaCodec",
+    "LoRaDemodulator",
+    "LoRaFrame",
+    "LoRaModulator",
+    "LoRaParams",
+    "MAX_SPREADING_FACTOR",
+    "MIN_SPREADING_FACTOR",
+    "PREAMBLE_SYMBOLS",
+    "PacketSynchronizer",
+    "QuantizedChirpGenerator",
+    "STANDARD_BANDWIDTHS_HZ",
+    "SymbolDecision",
+    "SymbolDemodulator",
+    "SyncResult",
+    "align_to_rate",
+    "chirp_train",
+    "common_sample_rate",
+    "crc16_ccitt",
+    "ideal_chirp",
+    "ideal_downchirp",
+    "partial_downchirps",
+    "sync_symbols_for_word",
+    "sync_word_from_symbols",
+]

@@ -1,0 +1,140 @@
+"""Chirp symbol generation: ideal and FPGA-quantized.
+
+A LoRa base upchirp sweeps linearly from ``-BW/2`` to ``+BW/2`` over one
+symbol; a symbol value ``s`` is a cyclic shift of that chirp by ``s``
+chips.  The paper's Chirp Generator module builds these with "a squared
+phase accumulator and two lookup tables for Sin and Cos"; the
+:class:`QuantizedChirpGenerator` reproduces that structure via
+:class:`repro.dsp.nco.Nco`, so the digital-domain non-orthogonality the
+paper measures in Fig. 15a is present in the waveforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.nco import Nco, NcoConfig
+from repro.errors import ConfigurationError
+from repro.phy.lora.params import LoRaParams
+
+
+def ideal_chirp(params: LoRaParams, symbol: int = 0,
+                downchirp: bool = False) -> np.ndarray:
+    """Generate one floating-point chirp symbol.
+
+    Args:
+        params: LoRa configuration (SF, BW, oversampling).
+        symbol: cyclic shift in chips, ``0 <= symbol < 2**SF``.
+        downchirp: generate the conjugate (falling-frequency) chirp.
+
+    Returns:
+        ``params.samples_per_symbol`` unit-amplitude complex samples.
+
+    Raises:
+        ConfigurationError: if ``symbol`` is out of range.
+    """
+    n_chips = params.chips_per_symbol
+    if not 0 <= symbol < n_chips:
+        raise ConfigurationError(
+            f"symbol must be 0..{n_chips - 1}, got {symbol}")
+    os = params.oversampling
+    total = params.samples_per_symbol
+    # Work in units of chips: sample k sits at chip position k/os.  The
+    # instantaneous frequency (cycles/chip) of the shifted upchirp is
+    # ((chip + symbol) mod N)/N - 1/2; integrating gives the phase below.
+    k = np.arange(total, dtype=np.float64)
+    chip = k / os
+    shifted = np.mod(chip + symbol, n_chips)
+    # Phase in cycles: integral of f d(chip).  Using the closed form for a
+    # linear sweep with wraparound: phi = shifted^2/(2N) - shifted/2,
+    # which is continuous modulo 1 across the wrap.
+    cycles = shifted ** 2 / (2.0 * n_chips) - shifted / 2.0
+    if downchirp:
+        cycles = -cycles
+    return np.exp(2j * np.pi * cycles)
+
+
+def ideal_downchirp(params: LoRaParams) -> np.ndarray:
+    """The base downchirp used for dechirping and the SFD."""
+    return ideal_chirp(params, symbol=0, downchirp=True)
+
+
+class QuantizedChirpGenerator:
+    """Chirp generator modelling the FPGA's phase-accumulator + LUT design.
+
+    The phase sequence of :func:`ideal_chirp` is quantized to an integer
+    accumulator of ``nco_config.phase_bits`` bits and run through sin/cos
+    lookup tables of ``2**table_address_bits`` entries at
+    ``amplitude_bits`` resolution.  These defaults mirror a resource-
+    conscious ECP5 implementation.
+    """
+
+    def __init__(self, params: LoRaParams,
+                 nco_config: NcoConfig | None = None) -> None:
+        self.params = params
+        self.nco = Nco(nco_config or NcoConfig(
+            phase_bits=32, table_address_bits=10, amplitude_bits=13))
+        self._phase_modulus = 1 << self.nco.config.phase_bits
+
+    def chirp(self, symbol: int = 0, downchirp: bool = False) -> np.ndarray:
+        """Generate one quantized chirp symbol.
+
+        Raises:
+            ConfigurationError: if ``symbol`` is out of range.
+        """
+        n_chips = self.params.chips_per_symbol
+        if not 0 <= symbol < n_chips:
+            raise ConfigurationError(
+                f"symbol must be 0..{n_chips - 1}, got {symbol}")
+        os = self.params.oversampling
+        total = self.params.samples_per_symbol
+        k = np.arange(total, dtype=np.float64)
+        chip = k / os
+        shifted = np.mod(chip + symbol, n_chips)
+        cycles = shifted ** 2 / (2.0 * n_chips) - shifted / 2.0
+        if downchirp:
+            cycles = -cycles
+        phases = np.round(np.mod(cycles, 1.0) * self._phase_modulus
+                          ).astype(np.int64)
+        return self.nco.from_phase_sequence(phases)
+
+    def downchirp(self) -> np.ndarray:
+        """Quantized base downchirp."""
+        return self.chirp(0, downchirp=True)
+
+    def symbols(self, values: np.ndarray) -> np.ndarray:
+        """Concatenate quantized chirps for a symbol sequence."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            return np.zeros(0, dtype=np.complex128)
+        return np.concatenate([self.chirp(int(v)) for v in values])
+
+
+def chirp_train(params: LoRaParams, symbols: np.ndarray,
+                quantized: bool = False) -> np.ndarray:
+    """Concatenated chirps for a symbol sequence (ideal or quantized)."""
+    symbols = np.asarray(symbols, dtype=np.int64)
+    if quantized:
+        return QuantizedChirpGenerator(params).symbols(symbols)
+    if symbols.size == 0:
+        return np.zeros(0, dtype=np.complex128)
+    return np.concatenate([ideal_chirp(params, int(s)) for s in symbols])
+
+
+def partial_downchirps(params: LoRaParams, count: float = 2.25,
+                       quantized: bool = False) -> np.ndarray:
+    """``count`` downchirp symbols (fractional count allowed, for the SFD)."""
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count!r}")
+    whole = int(count)
+    fraction = count - whole
+    if quantized:
+        base = QuantizedChirpGenerator(params).downchirp()
+    else:
+        base = ideal_downchirp(params)
+    pieces = [base] * whole
+    if fraction > 0:
+        pieces.append(base[:int(round(fraction * base.size))])
+    if not pieces:
+        return np.zeros(0, dtype=np.complex128)
+    return np.concatenate(pieces)

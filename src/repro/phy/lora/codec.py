@@ -1,0 +1,270 @@
+"""Payload <-> symbol codec: the full LoRa bit pipeline.
+
+Encoding a payload into chirp symbol values proceeds as on SX127x-class
+hardware:
+
+* a CRC-16 is appended (when enabled) and the payload is whitened;
+* the stream is split into nibbles and Hamming-encoded;
+* codewords are grouped into diagonal interleaver blocks of ``PPM``
+  codewords each, emitting ``CR_den`` symbols per block;
+* symbol values are Gray-mapped so adjacent FFT bins differ in one bit.
+
+The **header block** is always transmitted at the robust setting
+(``PPM = SF - 2``, CR 4/8), carrying payload length, coding rate, and CRC
+flag plus a checksum, so the receiver can decode the rest without prior
+knowledge - exactly the explicit-header behaviour of real LoRa.  Explicit
+headers require SF >= 7 (SF6 is implicit-header only, as on the SX1276).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodingError
+from repro.phy.lora.coding import (
+    deinterleave_block,
+    gray_decode_array,
+    gray_encode_array,
+    hamming_decode,
+    hamming_decode_nibble,
+    hamming_encode_nibble,
+    interleave_block,
+    whiten,
+)
+from repro.phy.lora.params import LoRaParams
+
+HEADER_NIBBLES = 5
+HEADER_CR_DENOMINATOR = 8
+MAX_PAYLOAD_BYTES = 255
+
+
+def crc16_ccitt(data: bytes, initial: int = 0x0000) -> int:
+    """CRC-16/CCITT (polynomial 0x1021) over ``data``."""
+    crc = initial
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def _bytes_to_nibbles(data: bytes) -> list[int]:
+    """Split bytes into nibbles, low nibble first."""
+    nibbles = []
+    for byte in data:
+        nibbles.append(byte & 0xF)
+        nibbles.append(byte >> 4)
+    return nibbles
+
+
+def _nibbles_to_bytes(nibbles: list[int]) -> bytes:
+    """Join nibbles (low first) back into bytes, dropping a trailing odd one."""
+    out = bytearray()
+    for low, high in zip(nibbles[::2], nibbles[1::2]):
+        out.append((low & 0xF) | ((high & 0xF) << 4))
+    return bytes(out)
+
+
+@dataclass(frozen=True)
+class DecodedPayload:
+    """Result of decoding a symbol stream.
+
+    Attributes:
+        payload: recovered payload bytes.
+        crc_ok: ``None`` when the packet carried no CRC, else pass/fail.
+        header_ok: explicit-header checksum status (``True`` for implicit).
+        fec_errors: count of Hamming codewords with detected errors.
+    """
+
+    payload: bytes
+    crc_ok: bool | None
+    header_ok: bool
+    fec_errors: int
+
+
+class LoRaCodec:
+    """Bidirectional payload <-> symbol-value codec for one configuration."""
+
+    def __init__(self, params: LoRaParams, crc: bool = True) -> None:
+        if params.explicit_header and params.spreading_factor < 7:
+            raise CodingError(
+                "explicit headers require SF >= 7 (SF6 is implicit-header "
+                "only, as on SX1276)")
+        self.params = params
+        self.crc = crc
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, payload: bytes) -> np.ndarray:
+        """Encode payload bytes into an array of chirp symbol values."""
+        if len(payload) > MAX_PAYLOAD_BYTES:
+            raise CodingError(
+                f"payload exceeds {MAX_PAYLOAD_BYTES} bytes: {len(payload)}")
+        body = bytes(payload)
+        if self.crc:
+            crc = crc16_ccitt(body)
+            body += bytes((crc >> 8, crc & 0xFF))
+        body = whiten(body)
+        nibbles = _bytes_to_nibbles(body)
+
+        symbols: list[int] = []
+        if self.params.explicit_header:
+            header = self._header_nibbles(len(payload))
+            header_ppm = self.params.spreading_factor - 2
+            block = header + nibbles[:header_ppm - HEADER_NIBBLES]
+            nibbles = nibbles[header_ppm - HEADER_NIBBLES:]
+            block += [0] * (header_ppm - len(block))
+            symbols.extend(self._encode_block(
+                block, header_ppm, HEADER_CR_DENOMINATOR))
+
+        ppm = self.params.payload_bits_per_symbol
+        cr = self.params.coding_rate_denominator
+        for start in range(0, len(nibbles), ppm):
+            block = nibbles[start:start + ppm]
+            block += [0] * (ppm - len(block))
+            symbols.extend(self._encode_block(block, ppm, cr))
+        return np.asarray(symbols, dtype=np.int64)
+
+    def _header_nibbles(self, payload_length: int) -> list[int]:
+        """Build the 5-nibble explicit header."""
+        flags = ((self.params.coding_rate_denominator - 4) & 0x7) | (
+            0x8 if self.crc else 0x0)
+        checksum = (payload_length ^ (payload_length >> 4) ^ flags) & 0xFF
+        return [payload_length & 0xF, payload_length >> 4, flags,
+                checksum & 0xF, checksum >> 4]
+
+    def _encode_block(self, nibbles: list[int], ppm: int,
+                      cr_denominator: int) -> list[int]:
+        """Hamming-encode, interleave and Gray-map one block."""
+        codewords = [hamming_encode_nibble(n, cr_denominator) for n in nibbles]
+        interleaved = interleave_block(codewords, ppm, cr_denominator)
+        values = gray_decode_array(np.asarray(interleaved, dtype=np.int64))
+        shift = self.params.spreading_factor - ppm
+        return [int(v) << shift for v in values]
+
+    # -- decode ------------------------------------------------------------
+
+    def decode(self, symbols: np.ndarray,
+               payload_length: int | None = None) -> DecodedPayload:
+        """Decode received chirp symbol values back into a payload.
+
+        Args:
+            symbols: detected chirp symbol values.
+            payload_length: a priori payload length for implicit-header
+                mode (as real hardware requires); ignored when an
+                explicit header is decoded successfully, and inferred
+                from the trailing CRC when omitted in implicit mode.
+
+        Raises:
+            CodingError: when the stream is too short to contain the
+                expected header/payload structure.
+        """
+        symbols = list(np.asarray(symbols, dtype=np.int64))
+        fec_errors = 0
+        header_ok = True
+        crc_flag = self.crc
+        cr = self.params.coding_rate_denominator
+        leading_nibbles: list[int] = []
+
+        if self.params.explicit_header:
+            header_ppm = self.params.spreading_factor - 2
+            if len(symbols) < HEADER_CR_DENOMINATOR:
+                raise CodingError(
+                    "symbol stream too short for an explicit header")
+            block = symbols[:HEADER_CR_DENOMINATOR]
+            symbols = symbols[HEADER_CR_DENOMINATOR:]
+            nibbles, errs = self._decode_block(
+                block, header_ppm, HEADER_CR_DENOMINATOR)
+            fec_errors += errs
+            header = nibbles[:HEADER_NIBBLES]
+            leading_nibbles = nibbles[HEADER_NIBBLES:]
+            payload_length = header[0] | (header[1] << 4)
+            flags = header[2]
+            checksum = header[3] | (header[4] << 4)
+            expected = (payload_length ^ (payload_length >> 4) ^ flags) & 0xFF
+            header_ok = checksum == expected
+            if header_ok:
+                cr = (flags & 0x7) + 4
+                crc_flag = bool(flags & 0x8)
+
+        ppm = self.params.payload_bits_per_symbol
+        nibbles = leading_nibbles
+        for start in range(0, len(symbols) - cr + 1, cr):
+            block = symbols[start:start + cr]
+            block_nibbles, errs = self._decode_block(block, ppm, cr)
+            fec_errors += errs
+            nibbles.extend(block_nibbles)
+
+        body = whiten(_nibbles_to_bytes(nibbles))
+        if payload_length is None and not self.params.explicit_header:
+            payload_length = self._implicit_length(body, crc_flag)
+        total_length = (payload_length if payload_length is not None
+                        else len(body) - (2 if crc_flag else 0))
+        total_length = max(0, min(total_length, len(body)))
+
+        crc_ok: bool | None = None
+        payload = body[:total_length]
+        if crc_flag:
+            crc_bytes = body[total_length:total_length + 2]
+            if len(crc_bytes) < 2:
+                crc_ok = False
+            else:
+                received = (crc_bytes[0] << 8) | crc_bytes[1]
+                crc_ok = crc16_ccitt(payload) == received
+        return DecodedPayload(payload=payload, crc_ok=crc_ok,
+                              header_ok=header_ok, fec_errors=fec_errors)
+
+    @staticmethod
+    def _implicit_length(body: bytes, crc_flag: bool) -> int:
+        """Infer the payload boundary in implicit-header mode.
+
+        Real hardware requires the receiver to know the length a priori;
+        when the caller does not supply it we locate the longest prefix
+        whose trailing CRC verifies (block padding sits after the CRC).
+        """
+        if not crc_flag:
+            return len(body)
+        for length in range(len(body) - 2, -1, -1):
+            received = (body[length] << 8) | body[length + 1]
+            if crc16_ccitt(body[:length]) == received:
+                return length
+        return max(len(body) - 2, 0)
+
+    def _decode_block(self, symbol_block: list[int], ppm: int,
+                      cr_denominator: int) -> tuple[list[int], int]:
+        """Gray-demap, deinterleave and Hamming-decode one block."""
+        shift = self.params.spreading_factor - ppm
+        values = [(int(s) >> shift) for s in symbol_block]
+        interleaved = [int(v) for v in
+                       gray_encode_array(np.asarray(values, dtype=np.int64))]
+        codewords = deinterleave_block(interleaved, ppm, cr_denominator)
+        nibbles = []
+        errors = 0
+        for codeword in codewords:
+            nibble, err = hamming_decode_nibble(codeword, cr_denominator)
+            nibbles.append(nibble)
+            errors += int(err)
+        return nibbles, errors
+
+    # -- sizing ------------------------------------------------------------
+
+    def symbol_count(self, payload_bytes: int) -> int:
+        """Number of payload-section symbols a payload will occupy."""
+        if payload_bytes < 0 or payload_bytes > MAX_PAYLOAD_BYTES:
+            raise CodingError(f"invalid payload length {payload_bytes}")
+        total_nibbles = 2 * (payload_bytes + (2 if self.crc else 0))
+        count = 0
+        if self.params.explicit_header:
+            header_ppm = self.params.spreading_factor - 2
+            absorbed = header_ppm - HEADER_NIBBLES
+            total_nibbles = max(0, total_nibbles - absorbed)
+            count += HEADER_CR_DENOMINATOR
+        ppm = self.params.payload_bits_per_symbol
+        blocks = -(-total_nibbles // ppm) if total_nibbles else 0
+        count += blocks * self.params.coding_rate_denominator
+        return count

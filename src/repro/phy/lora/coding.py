@@ -1,0 +1,270 @@
+"""LoRa code chain: Gray mapping, whitening, Hamming FEC, interleaving.
+
+LoRa protects payload bits with four cascaded stages before they become
+chirp symbols:
+
+1. **Whitening** - an LFSR sequence XORed over payload bytes to avoid long
+   runs (Semtech's exact sequence is proprietary; we use a documented
+   9-bit LFSR, self-consistent between our encoder and decoder).
+2. **Hamming coding** - each 4-bit nibble is expanded to ``CR_den`` bits
+   (CR 4/5 adds a parity bit for detection; 4/7 and 4/8 are classic
+   Hamming(7,4)/extended-Hamming codes with single-error correction).
+3. **Diagonal interleaving** - a block of ``CR_den`` codewords of
+   ``PPM`` bits is transposed with a diagonal offset so that a corrupted
+   chirp symbol spreads its bit errors over many codewords.
+4. **Gray mapping** - adjacent FFT bins differ in one bit, so an off-by-one
+   symbol error costs a single bit error.
+
+This mirrors the structure reverse-engineered from SX127x hardware and is
+what the paper's FPGA pipeline implements around the Chirp Generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodingError
+
+# ---------------------------------------------------------------------------
+# Gray mapping
+# ---------------------------------------------------------------------------
+
+
+def gray_encode(value: int) -> int:
+    """Binary-reflected Gray code of a non-negative integer."""
+    if value < 0:
+        raise CodingError(f"gray code undefined for negative {value}")
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_encode`."""
+    if code < 0:
+        raise CodingError(f"gray code undefined for negative {code}")
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value
+
+
+def gray_encode_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized Gray encode."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and values.min() < 0:
+        raise CodingError("gray code undefined for negative values")
+    return values ^ (values >> 1)
+
+
+def gray_decode_array(codes: np.ndarray) -> np.ndarray:
+    """Vectorized Gray decode."""
+    codes = np.asarray(codes, dtype=np.int64).copy()
+    if codes.size and codes.min() < 0:
+        raise CodingError("gray code undefined for negative values")
+    values = codes.copy()
+    shift = codes >> 1
+    while np.any(shift):
+        values ^= shift
+        shift >>= 1
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Whitening
+# ---------------------------------------------------------------------------
+
+_WHITENING_POLY_TAPS = (9, 5)  # x^9 + x^5 + 1, a maximal-length 9-bit LFSR
+_WHITENING_SEED = 0x1FF
+
+
+def whitening_sequence(num_bytes: int, seed: int = _WHITENING_SEED) -> bytes:
+    """Pseudo-random whitening bytes from a 9-bit Fibonacci LFSR."""
+    if num_bytes < 0:
+        raise CodingError(f"byte count must be >= 0, got {num_bytes}")
+    if not 1 <= seed <= 0x1FF:
+        raise CodingError(f"seed must be a non-zero 9-bit value, got {seed!r}")
+    state = seed
+    out = bytearray()
+    for _ in range(num_bytes):
+        byte = 0
+        for bit_index in range(8):
+            bit = ((state >> (_WHITENING_POLY_TAPS[0] - 1))
+                   ^ (state >> (_WHITENING_POLY_TAPS[1] - 1))) & 1
+            state = ((state << 1) | bit) & 0x1FF
+            byte |= bit << bit_index
+        out.append(byte)
+    return bytes(out)
+
+
+def whiten(data: bytes, seed: int = _WHITENING_SEED) -> bytes:
+    """XOR data with the whitening sequence (involutive: applies = removes)."""
+    sequence = whitening_sequence(len(data), seed)
+    return bytes(d ^ s for d, s in zip(data, sequence))
+
+
+# ---------------------------------------------------------------------------
+# Hamming FEC
+# ---------------------------------------------------------------------------
+#
+# Codeword bit layout (LSB-first within the integer):
+#   bits 0..3 : data nibble d0..d3
+#   bit  4    : p0 = d0^d1^d2        (CR >= 5)
+#   bit  5    : p1 = d1^d2^d3        (CR >= 6)
+#   bit  6    : p2 = d0^d1^d3        (CR >= 7)
+#   bit  7    : p3 = d0^d2^d3        (CR = 8)
+#
+# For CR 4/7 the three parity bits give a Hamming(7,4) code with unique
+# single-error syndromes; CR 4/8 adds overall even parity.  CR 4/5 and 4/6
+# are detection-only, matching SX127x behaviour.
+
+_PARITY_MASKS = (0b0111, 0b1110, 0b1011, 0b1101)
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def hamming_encode_nibble(nibble: int, cr_denominator: int) -> int:
+    """Encode a 4-bit nibble into a ``cr_denominator``-bit codeword."""
+    if not 0 <= nibble <= 0xF:
+        raise CodingError(f"nibble must be 0..15, got {nibble}")
+    if not 5 <= cr_denominator <= 8:
+        raise CodingError(
+            f"coding rate denominator must be 5..8, got {cr_denominator}")
+    codeword = nibble
+    for i in range(cr_denominator - 4):
+        parity = _parity(nibble & _PARITY_MASKS[i])
+        codeword |= parity << (4 + i)
+    return codeword
+
+
+def hamming_decode_nibble(codeword: int,
+                          cr_denominator: int) -> tuple[int, bool]:
+    """Decode one codeword, correcting a single bit error when possible.
+
+    Returns:
+        ``(nibble, error_detected)``.  For CR 4/7 and 4/8 a single-bit
+        error is corrected and reported; for 4/5 and 4/6 parity mismatch
+        is only detected.
+
+    Raises:
+        CodingError: for an out-of-range codeword or coding rate.
+    """
+    if not 5 <= cr_denominator <= 8:
+        raise CodingError(
+            f"coding rate denominator must be 5..8, got {cr_denominator}")
+    if not 0 <= codeword < (1 << cr_denominator):
+        raise CodingError(
+            f"codeword must fit in {cr_denominator} bits, got {codeword}")
+    nibble = codeword & 0xF
+    num_parity = cr_denominator - 4
+    syndrome = 0
+    for i in range(num_parity):
+        expected = _parity(nibble & _PARITY_MASKS[i])
+        received = (codeword >> (4 + i)) & 1
+        if expected != received:
+            syndrome |= 1 << i
+    if syndrome == 0:
+        return nibble, False
+    if num_parity < 3:
+        return nibble, True  # detection only
+    # Hamming(7,4): map the 3-bit syndrome (p0,p1,p2) to the erroneous bit.
+    # Data-bit syndromes per _PARITY_MASKS: d0 -> p0,p2 (0b101);
+    # d1 -> p0,p1,p2 (0b111); d2 -> p0,p1 (0b011); d3 -> p1,p2 (0b110);
+    # single parity bits map to themselves.
+    data_syndromes = {0b101: 0, 0b111: 1, 0b011: 2, 0b110: 3}
+    core = syndrome & 0b111
+    if core in data_syndromes:
+        nibble ^= 1 << data_syndromes[core]
+        return nibble, True
+    # Syndrome touches parity bits only (or the CR=8 overall bit): the data
+    # nibble itself is intact.
+    return nibble, True
+
+
+def hamming_encode(data: bytes, cr_denominator: int) -> list[int]:
+    """Encode bytes into codewords, low nibble first within each byte."""
+    codewords = []
+    for byte in data:
+        codewords.append(hamming_encode_nibble(byte & 0xF, cr_denominator))
+        codewords.append(hamming_encode_nibble(byte >> 4, cr_denominator))
+    return codewords
+
+
+def hamming_decode(codewords: list[int],
+                   cr_denominator: int) -> tuple[bytes, int]:
+    """Decode codewords back into bytes.
+
+    Returns:
+        ``(data, errors)`` where ``errors`` counts codewords with detected
+        (possibly corrected) errors.
+
+    Raises:
+        CodingError: if the codeword count is odd (cannot form bytes).
+    """
+    if len(codewords) % 2:
+        raise CodingError(
+            f"codeword count must be even to form bytes, got {len(codewords)}")
+    out = bytearray()
+    errors = 0
+    for low_cw, high_cw in zip(codewords[::2], codewords[1::2]):
+        low, err_low = hamming_decode_nibble(low_cw, cr_denominator)
+        high, err_high = hamming_decode_nibble(high_cw, cr_denominator)
+        errors += int(err_low) + int(err_high)
+        out.append(low | (high << 4))
+    return bytes(out), errors
+
+
+# ---------------------------------------------------------------------------
+# Diagonal interleaver
+# ---------------------------------------------------------------------------
+
+
+def interleave_block(codewords: list[int], ppm: int,
+                     cr_denominator: int) -> list[int]:
+    """Diagonally interleave ``ppm`` codewords into ``cr_denominator`` symbols.
+
+    The block is a ``ppm x cr_den`` bit matrix (one codeword per row).  The
+    output symbol ``j`` collects bit ``j`` of every codeword, with row ``i``
+    rotated by ``i`` positions - the diagonal offset that decorrelates
+    symbol errors across codewords.
+
+    Args:
+        codewords: exactly ``ppm`` codewords of ``cr_denominator`` bits.
+        ppm: bits per symbol the modulator will use (SF or SF-2).
+        cr_denominator: codeword width.
+
+    Returns:
+        ``cr_denominator`` symbol values, each ``ppm`` bits.
+
+    Raises:
+        CodingError: when the block shape does not match.
+    """
+    if len(codewords) != ppm:
+        raise CodingError(
+            f"interleaver needs exactly {ppm} codewords, got {len(codewords)}")
+    symbols = []
+    for j in range(cr_denominator):
+        symbol = 0
+        for i in range(ppm):
+            row = (i + j) % ppm
+            bit = (codewords[row] >> j) & 1
+            symbol |= bit << i
+        symbols.append(symbol)
+    return symbols
+
+
+def deinterleave_block(symbols: list[int], ppm: int,
+                       cr_denominator: int) -> list[int]:
+    """Inverse of :func:`interleave_block`."""
+    if len(symbols) != cr_denominator:
+        raise CodingError(
+            f"deinterleaver needs exactly {cr_denominator} symbols, "
+            f"got {len(symbols)}")
+    codewords = [0] * ppm
+    for j in range(cr_denominator):
+        for i in range(ppm):
+            row = (i + j) % ppm
+            bit = (symbols[j] >> i) & 1
+            codewords[row] |= bit << j
+    return codewords

@@ -1,0 +1,117 @@
+"""LoRa modulator (paper Fig. 6a).
+
+The FPGA pipeline is Packet Generator -> Chirp Generator -> I/Q Serializer.
+Here :class:`LoRaModulator` plays the first two roles: it turns payload
+bytes into symbol values through :class:`repro.phy.lora.codec.LoRaCodec`
+(Packet Generator) and renders them as chirps - either ideal floating
+point or through the quantized phase-accumulator NCO the hardware uses
+(Chirp Generator).  The serializer lives in :mod:`repro.radio.iqword`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.nco import NcoConfig
+from repro.errors import ConfigurationError
+from repro.phy.lora.chirp import (
+    QuantizedChirpGenerator,
+    chirp_train,
+    ideal_chirp,
+    partial_downchirps,
+)
+from repro.phy.lora.codec import LoRaCodec
+from repro.phy.lora.packet import LoRaFrame, sync_symbols_for_word
+from repro.phy.lora.params import LoRaParams, PREAMBLE_SYMBOLS, SFD_SYMBOLS
+
+
+class LoRaModulator:
+    """Generate LoRa baseband waveforms for one PHY configuration.
+
+    Args:
+        params: LoRa PHY configuration.
+        quantized: render chirps through the FPGA-style quantized NCO
+            (matches tinySDR); ``False`` gives ideal chirps (matches the
+            SX1276 reference the paper compares against).
+        crc: append the 16-bit payload CRC.
+        nco_config: quantization parameters for the NCO when ``quantized``.
+    """
+
+    def __init__(self, params: LoRaParams, quantized: bool = True,
+                 crc: bool = True,
+                 nco_config: NcoConfig | None = None) -> None:
+        self.params = params
+        self.quantized = quantized
+        self.codec = LoRaCodec(params, crc=crc)
+        self._generator = (QuantizedChirpGenerator(params, nco_config)
+                           if quantized else None)
+
+    # -- symbol-level API ----------------------------------------------------
+
+    def symbol(self, value: int) -> np.ndarray:
+        """One payload chirp symbol."""
+        if self._generator is not None:
+            return self._generator.chirp(value)
+        return ideal_chirp(self.params, value)
+
+    def symbols(self, values: np.ndarray) -> np.ndarray:
+        """Concatenated chirps for a symbol-value sequence."""
+        return chirp_train(self.params, values, quantized=self.quantized)
+
+    # -- frame-level API -----------------------------------------------------
+
+    def frame_for_payload(self, payload: bytes,
+                          preamble_symbols: int = PREAMBLE_SYMBOLS) -> LoRaFrame:
+        """Encode a payload into a symbol-level frame description."""
+        return LoRaFrame(params=self.params,
+                         payload_symbols=self.codec.encode(payload),
+                         preamble_symbols=preamble_symbols)
+
+    def modulate_frame(self, frame: LoRaFrame) -> np.ndarray:
+        """Render a frame to complex baseband samples.
+
+        Layout per paper Fig. 5: ``preamble (upchirps, shift 0)``, two sync
+        upchirps, 2.25 downchirps, payload upchirps.
+
+        Raises:
+            ConfigurationError: if the frame was built for different params.
+        """
+        if frame.params != self.params:
+            raise ConfigurationError(
+                "frame parameters do not match this modulator")
+        sync_high, sync_low = sync_symbols_for_word(self.params)
+        preamble_values = np.zeros(frame.preamble_symbols, dtype=np.int64)
+        head_values = np.concatenate([
+            preamble_values, np.asarray([sync_high, sync_low], dtype=np.int64)])
+        head = self.symbols(head_values)
+        sfd = partial_downchirps(self.params, SFD_SYMBOLS,
+                                 quantized=self.quantized)
+        payload = self.symbols(frame.payload_symbols)
+        return np.concatenate([head, sfd, payload])
+
+    def modulate(self, payload: bytes,
+                 preamble_symbols: int = PREAMBLE_SYMBOLS) -> np.ndarray:
+        """Encode and render a payload in one step."""
+        return self.modulate_frame(
+            self.frame_for_payload(payload, preamble_symbols))
+
+    def single_tone(self, frequency_hz: float, duration_s: float) -> np.ndarray:
+        """Generate a single tone through the same quantized NCO.
+
+        This is the paper's transmitter benchmark (Fig. 8): "we implement a
+        single-tone modulator on the FPGA that generates the appropriate
+        I/Q samples".
+        """
+        num_samples = int(round(duration_s * self.params.sample_rate_hz))
+        if num_samples <= 0:
+            raise ConfigurationError(
+                f"duration {duration_s!r}s yields no samples at "
+                f"{self.params.sample_rate_hz!r} Hz")
+        if self._generator is not None:
+            nco = self._generator.nco
+            nco.reset()
+            return nco.tone(frequency_hz, self.params.sample_rate_hz,
+                            num_samples)
+        n = np.arange(num_samples)
+        return np.exp(2j * np.pi * frequency_hz
+                      / self.params.sample_rate_hz * n)

@@ -1,0 +1,21 @@
+"""Ultra-narrowband (Sigfox-class) DBPSK PHY."""
+
+from repro.phy.unb.dbpsk import (
+    SIGFOX_BANDWIDTH_HZ,
+    SIGFOX_BIT_RATE_BPS,
+    UnbConfig,
+    UnbDemodulator,
+    UnbFrame,
+    UnbModulator,
+    differential_encode,
+)
+
+__all__ = [
+    "SIGFOX_BANDWIDTH_HZ",
+    "SIGFOX_BIT_RATE_BPS",
+    "UnbConfig",
+    "UnbDemodulator",
+    "UnbFrame",
+    "UnbModulator",
+    "differential_encode",
+]

@@ -1,0 +1,178 @@
+"""SDR platform and radio-chip catalogs (paper Tables 1-2, Fig. 2).
+
+The paper motivates tinySDR by comparing it against every commercial and
+research SDR platform on the axes IoT endpoints care about: sleep power,
+standalone operation, OTA programmability, cost, bandwidth, ADC
+resolution, frequency coverage and size.  This module encodes those
+comparisons as data so the benchmarks can regenerate the tables and so
+downstream users can extend them with new platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SdrPlatform:
+    """One row of paper Table 1.
+
+    Attributes:
+        name: platform name.
+        sleep_power_w: measured sleep power; ``None`` when the platform
+            has no sleep mode / is not standalone.
+        standalone: usable without a host computer.
+        ota_programmable: PHY/MAC updatable over the air.
+        cost_usd: unit cost (sale price or published BOM).
+        max_bandwidth_hz: maximum supported baseband bandwidth.
+        adc_bits: ADC resolution.
+        frequency_ranges_hz: covered RF spectrum.
+        size_cm: (width, height) board size.
+        tx_power_w: radio-module power while transmitting (Fig. 2).
+        rx_power_w: radio-module power while receiving (Fig. 2).
+        tx_output_dbm: the RF output at which ``tx_power_w`` was measured.
+    """
+
+    name: str
+    sleep_power_w: float | None
+    standalone: bool
+    ota_programmable: bool
+    cost_usd: float
+    max_bandwidth_hz: float
+    adc_bits: int
+    frequency_ranges_hz: tuple[tuple[float, float], ...]
+    size_cm: tuple[float, float]
+    tx_power_w: float | None
+    rx_power_w: float | None
+    tx_output_dbm: float | None
+
+
+SDR_PLATFORMS: tuple[SdrPlatform, ...] = (
+    SdrPlatform("USRP E310", 2.820, True, False, 3000.0, 30.72e6, 12,
+                ((70e6, 6000e6),), (6.8, 13.3), 1.375, 0.920, 10.0),
+    SdrPlatform("USRP B200mini", None, False, False, 733.0, 30.72e6, 12,
+                ((70e6, 6000e6),), (5.0, 8.3), 0.870, 0.670, 10.0),
+    SdrPlatform("bladeRF 2.0", 0.717, True, False, 720.0, 30.72e6, 12,
+                ((47e6, 6000e6),), (6.3, 12.7), 0.750, 0.570, 10.0),
+    SdrPlatform("LimeSDR Mini", None, False, False, 159.0, 30.72e6, 12,
+                ((10e6, 3500e6),), (3.1, 6.9), 0.730, 0.580, 10.0),
+    SdrPlatform("PlutoSDR", None, False, False, 149.0, 20e6, 12,
+                ((325e6, 3800e6),), (7.9, 11.7), 0.800, 0.620, 10.0),
+    SdrPlatform("uSDR", 0.320, True, False, 150.0, 40e6, 8,
+                ((2400e6, 2500e6),), (7.0, 14.5), 0.450, 0.320, 14.0),
+    SdrPlatform("GalioT", 0.350, True, False, 60.0, 14.4e6, 8,
+                ((0.5e6, 1766e6),), (2.5, 7.0), None, 0.350, None),
+    SdrPlatform("TinySDR", 30e-6, True, True, 55.0, 4e6, 13,
+                ((389.5e6, 510e6), (779e6, 1020e6), (2400e6, 2483e6)),
+                (3.0, 5.0), 0.283, 0.186, 14.0),
+)
+"""Paper Table 1 plus the Fig. 2 radio-module power bars."""
+
+
+@dataclass(frozen=True)
+class IqRadioChip:
+    """One row of paper Table 2.
+
+    Attributes:
+        name: part number.
+        frequency_ranges_hz: covered spectrum.
+        rx_power_w: receive-mode power.
+        cost_usd: unit cost.
+    """
+
+    name: str
+    frequency_ranges_hz: tuple[tuple[float, float], ...]
+    rx_power_w: float
+    cost_usd: float
+
+
+IQ_RADIO_CHIPS: tuple[IqRadioChip, ...] = (
+    IqRadioChip("AD9361", ((70e6, 6000e6),), 0.262, 282.0),
+    IqRadioChip("AD9363", ((325e6, 3800e6),), 0.262, 123.0),
+    IqRadioChip("AD9364", ((70e6, 6000e6),), 0.262, 210.0),
+    IqRadioChip("LMS7002M", ((10e6, 3500e6),), 0.378, 110.0),
+    IqRadioChip("MAX2831", ((2400e6, 2500e6),), 0.276, 9.0),
+    IqRadioChip("SX1257", ((862e6, 1020e6),), 0.054, 7.5),
+    IqRadioChip("AT86RF215",
+                ((389.5e6, 510e6), (779e6, 1020e6), (2400e6, 2483e6)),
+                0.050, 5.5),
+)
+"""Paper Table 2: the radio-chip survey that selected the AT86RF215."""
+
+IOT_PROTOCOL_BANDWIDTHS_HZ = {
+    "LoRa": 500e3,
+    "Sigfox": 200.0,
+    "NB-IoT": 180e3,
+    "LTE-M": 1.4e6,
+    "Bluetooth": 2e6,
+    "ZigBee": 2e6,
+}
+"""Intro section: the bandwidths IoT protocols actually use."""
+
+
+def get_platform(name: str) -> SdrPlatform:
+    """Look up a platform row by name.
+
+    Raises:
+        ConfigurationError: for unknown names.
+    """
+    for platform in SDR_PLATFORMS:
+        if platform.name.lower() == name.lower():
+            return platform
+    raise ConfigurationError(f"unknown platform {name!r}")
+
+
+def sleep_power_advantage(reference: str = "TinySDR") -> dict[str, float]:
+    """Ratio of each platform's sleep power to the reference's.
+
+    The headline claim: tinySDR sleeps at 30 uW, "10,000x lower than
+    existing SDR platforms".
+    """
+    base = get_platform(reference).sleep_power_w
+    if base is None or base <= 0:
+        raise ConfigurationError(
+            f"reference {reference!r} has no sleep power figure")
+    return {p.name: p.sleep_power_w / base
+            for p in SDR_PLATFORMS
+            if p.sleep_power_w is not None and p.name != reference}
+
+
+def covers_band(platform: SdrPlatform, frequency_hz: float) -> bool:
+    """Whether a platform's RF coverage includes a frequency."""
+    return any(low <= frequency_hz <= high
+               for low, high in platform.frequency_ranges_hz)
+
+
+def supports_protocol(platform: SdrPlatform, protocol: str) -> bool:
+    """Whether a platform's bandwidth covers an IoT protocol's needs.
+
+    Raises:
+        ConfigurationError: for unknown protocol names.
+    """
+    if protocol not in IOT_PROTOCOL_BANDWIDTHS_HZ:
+        raise ConfigurationError(f"unknown protocol {protocol!r}")
+    return platform.max_bandwidth_hz >= IOT_PROTOCOL_BANDWIDTHS_HZ[protocol]
+
+
+def endpoint_requirements_report() -> dict[str, dict[str, bool]]:
+    """Score every platform against the paper's six endpoint requirements.
+
+    Section 2's checklist: dual-band coverage, low sleep power,
+    standalone operation, OTA programming, low cost, and >= 2 MHz
+    bandwidth.
+    """
+    report = {}
+    for platform in SDR_PLATFORMS:
+        report[platform.name] = {
+            "dual_band_900_2400": (covers_band(platform, 915e6)
+                                   and covers_band(platform, 2440e6)),
+            "sleep_below_1mw": (platform.sleep_power_w is not None
+                                and platform.sleep_power_w < 1e-3),
+            "standalone": platform.standalone,
+            "ota_programmable": platform.ota_programmable,
+            "cost_below_100usd": platform.cost_usd < 100.0,
+            "bandwidth_2mhz": platform.max_bandwidth_hz >= 2e6,
+        }
+    return report

@@ -1,0 +1,80 @@
+"""TinySDR bill of materials (paper Table 5).
+
+The cost analysis at 1000-unit volume: every component group, PCB
+fabrication and assembly, totalling $54.53 - the "$55" of Table 1 and
+the abstract's low-cost claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BomLine:
+    """One bill-of-materials line.
+
+    Attributes:
+        group: functional group (DSP, IQ Front-End, ...).
+        component: part description.
+        unit_price_usd: price at 1000-unit volume.
+    """
+
+    group: str
+    component: str
+    unit_price_usd: float
+
+
+BILL_OF_MATERIALS: tuple[BomLine, ...] = (
+    BomLine("DSP", "FPGA", 8.69),
+    BomLine("DSP", "Oscillator", 0.90),
+    BomLine("IQ Front-End", "Radio", 5.08),
+    BomLine("IQ Front-End", "Crystal", 0.53),
+    BomLine("IQ Front-End", "2.4 GHz Balun", 0.36),
+    BomLine("IQ Front-End", "Sub-GHz Balun", 0.30),
+    BomLine("Backbone", "Radio", 4.50),
+    BomLine("Backbone", "Crystal", 0.40),
+    BomLine("Backbone", "Flash Memory", 1.60),
+    BomLine("MAC", "MCU", 3.89),
+    BomLine("MAC", "Crystals", 0.68),
+    BomLine("RF", "Switch", 3.14),
+    BomLine("RF", "Sub-GHz PA", 1.54),
+    BomLine("RF", "2.4 GHz PA", 1.72),
+    BomLine("Power Management", "Regulators", 3.70),
+    BomLine("Supporting Components", "-", 4.50),
+    BomLine("Production", "Fabrication", 3.00),
+    BomLine("Production", "Assembly", 10.00),
+)
+"""Paper Table 5, line by line."""
+
+
+def total_cost_usd(lines: tuple[BomLine, ...] = BILL_OF_MATERIALS) -> float:
+    """Total unit cost (paper: $54.53)."""
+    return round(sum(line.unit_price_usd for line in lines), 2)
+
+
+def cost_by_group(lines: tuple[BomLine, ...] = BILL_OF_MATERIALS
+                  ) -> dict[str, float]:
+    """Subtotals per functional group."""
+    groups: dict[str, float] = {}
+    for line in lines:
+        groups[line.group] = round(groups.get(line.group, 0.0)
+                                   + line.unit_price_usd, 2)
+    return groups
+
+
+def cost_without(component_groups: tuple[str, ...],
+                 lines: tuple[BomLine, ...] = BILL_OF_MATERIALS) -> float:
+    """What-if cost with whole groups removed (e.g. dropping the PAs).
+
+    Raises:
+        ConfigurationError: if a named group does not exist in the BOM.
+    """
+    known = {line.group for line in lines}
+    for group in component_groups:
+        if group not in known:
+            raise ConfigurationError(f"unknown BOM group {group!r}")
+    kept = tuple(line for line in lines if line.group not in component_groups)
+    return total_cost_usd(kept)

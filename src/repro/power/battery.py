@@ -1,0 +1,79 @@
+"""Battery lifetime estimation.
+
+Turns average power (from :mod:`repro.power.meter`) into the lifetimes
+the paper quotes: "over 2 years on a 1000 mAh battery when transmitting
+[BLE beacons] once per second", "OTA program each tinySDR node with LoRa
+2100 times" on the same cell, and the 10,000x sleep-power advantage over
+other SDR platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class Battery:
+    """An ideal battery.
+
+    Attributes:
+        capacity_mah: rated capacity.
+        voltage_v: nominal terminal voltage.
+        usable_fraction: derating for cutoff voltage / self-discharge.
+    """
+
+    capacity_mah: float
+    voltage_v: float = 3.7
+    usable_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0 or self.voltage_v <= 0:
+            raise ConfigurationError("capacity and voltage must be positive")
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ConfigurationError(
+                f"usable fraction must be in (0, 1], got "
+                f"{self.usable_fraction!r}")
+
+    @property
+    def energy_j(self) -> float:
+        """Usable stored energy."""
+        return (self.capacity_mah * 1e-3 * 3600.0 * self.voltage_v
+                * self.usable_fraction)
+
+    def lifetime_s(self, average_power_w: float) -> float:
+        """Runtime at a constant average power.
+
+        Raises:
+            ConfigurationError: for non-positive power.
+        """
+        if average_power_w <= 0:
+            raise ConfigurationError(
+                f"average power must be positive, got {average_power_w!r}")
+        return self.energy_j / average_power_w
+
+    def lifetime_years(self, average_power_w: float) -> float:
+        """Runtime in years."""
+        return self.lifetime_s(average_power_w) / SECONDS_PER_YEAR
+
+    def operations_supported(self, energy_per_operation_j: float) -> int:
+        """How many fixed-energy operations the battery can fund.
+
+        This is the paper's OTA math: 6144 mJ per LoRa firmware update ->
+        2100 updates from a 1000 mAh cell.
+
+        Raises:
+            ConfigurationError: for non-positive per-operation energy.
+        """
+        if energy_per_operation_j <= 0:
+            raise ConfigurationError(
+                "energy per operation must be positive, got "
+                f"{energy_per_operation_j!r}")
+        return int(self.energy_j / energy_per_operation_j)
+
+
+LIPO_1000MAH = Battery(capacity_mah=1000.0, voltage_v=3.7)
+"""The cell the paper's lifetime figures use."""

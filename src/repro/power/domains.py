@@ -1,0 +1,122 @@
+"""Power domains V1-V7 (paper Table 3).
+
+The grouping balances control granularity against part count: the MCU
+gets its own always-on linear domain (V1); the FPGA core/aux rails,
+memories and the 2.4 GHz PA share gateable buck domains (V2, V3, V4, V7);
+the 900 MHz PA gets the higher-current TPS62080 (V6); and the radios plus
+FPGA I/O bank share the adjustable SC195 domain (V5), normally 1.8 V and
+raised only when a radio needs maximum output power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PowerError
+from repro.power.regulators import (
+    Regulator,
+    RegulatorSpec,
+    SC195,
+    TPS62080,
+    TPS62240,
+    TPS78218,
+)
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One power domain: its regulator and the components it feeds."""
+
+    name: str
+    regulator_spec: RegulatorSpec
+    voltage_v: float
+    components: tuple[str, ...]
+    always_on: bool = False
+
+
+DOMAIN_TABLE: tuple[DomainSpec, ...] = (
+    DomainSpec("V1", TPS78218, 1.8, ("mcu",), always_on=True),
+    DomainSpec("V2", TPS62240, 1.1, ("fpga_core",)),
+    DomainSpec("V3", TPS62240, 1.8,
+               ("fpga_aux", "flash_memory", "pa_2g4_control")),
+    DomainSpec("V4", TPS62240, 2.5, ("fpga_pll",)),
+    DomainSpec("V5", SC195, 1.8,
+               ("iq_radio", "backbone_radio", "fpga_io")),
+    DomainSpec("V6", TPS62080, 3.5, ("pa_900",)),
+    DomainSpec("V7", TPS62240, 3.0, ("pa_2g4", "microsd")),
+)
+"""Paper Table 3, one entry per domain."""
+
+
+@dataclass
+class PowerDomain:
+    """Runtime state of one domain: regulator plus per-component loads."""
+
+    spec: DomainSpec
+    regulator: Regulator
+    loads_w: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_on(self) -> bool:
+        """Whether the domain's regulator is enabled."""
+        return self.regulator.enabled
+
+    def turn_on(self) -> None:
+        """Enable the domain."""
+        self.regulator.enable()
+
+    def turn_off(self) -> None:
+        """Disable the domain.
+
+        Raises:
+            PowerError: for the always-on MCU domain.
+        """
+        if self.spec.always_on:
+            raise PowerError(
+                f"domain {self.spec.name} powers the MCU and cannot be "
+                "turned off")
+        self.regulator.disable()
+        self.loads_w.clear()
+
+    def set_load(self, component: str, power_w: float) -> None:
+        """Set a component's load on this domain.
+
+        Raises:
+            PowerError: for unknown components or loads on an off domain.
+        """
+        if component not in self.spec.components:
+            raise PowerError(
+                f"component {component!r} is not on domain {self.spec.name}")
+        if power_w > 0 and not self.is_on:
+            raise PowerError(
+                f"domain {self.spec.name} is off; cannot power {component!r}")
+        self.loads_w[component] = power_w
+
+    def battery_power_w(self) -> float:
+        """Battery-side draw of this domain (loads through the regulator)."""
+        return self.regulator.input_power_w(sum(self.loads_w.values()))
+
+
+def build_domains(battery_v: float = 3.7) -> dict[str, PowerDomain]:
+    """Instantiate all seven domains against a battery rail."""
+    domains: dict[str, PowerDomain] = {}
+    for spec in DOMAIN_TABLE:
+        regulator = Regulator(spec.regulator_spec, input_v=battery_v)
+        regulator.output_v = spec.voltage_v
+        domain = PowerDomain(spec=spec, regulator=regulator)
+        if spec.always_on:
+            domain.turn_on()
+        domains[spec.name] = domain
+    return domains
+
+
+def domain_for_component(component: str) -> str:
+    """Look up which domain feeds a component.
+
+    Raises:
+        PowerError: for unknown component names.
+    """
+    for spec in DOMAIN_TABLE:
+        if component in spec.components:
+            return spec.name
+    raise PowerError(f"no power domain feeds component {component!r}")

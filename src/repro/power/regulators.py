@@ -1,0 +1,130 @@
+"""Voltage regulator models (paper section 3.3).
+
+Three regulator types cover tinySDR's seven power domains:
+
+* **TPS78218** - a low-quiescent-current linear regulator for the
+  always-on MCU domain (V1).  Linear regulators waste headroom voltage as
+  heat but idle at sub-microamp currents.
+* **TPS62240** - a high-efficiency buck converter with 0.1 uA shutdown
+  current for the gateable domains (V2, V3, V4, V7) and, in its
+  higher-current **TPS62080** variant, the 900 MHz PA domain (V6).
+* **SC195** - an adjustable 1.8-3.6 V buck for the shared radio/FPGA-I/O
+  domain (V5) whose voltage is raised only when a radio needs more output
+  power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, PowerError
+
+
+@dataclass(frozen=True)
+class RegulatorSpec:
+    """Datasheet constants of one regulator.
+
+    Attributes:
+        name: part number.
+        topology: ``"linear"`` or ``"buck"``.
+        output_v: nominal output voltage (adjustable parts store the
+            default; the instance can retarget within limits).
+        max_current_a: rated output current.
+        quiescent_a: no-load ground current while enabled.
+        shutdown_a: current when disabled.
+        efficiency: conversion efficiency for buck converters (ignored
+            for linear parts, whose efficiency is Vout/Vin).
+        adjustable_range_v: (min, max) output for adjustable parts.
+    """
+
+    name: str
+    topology: str
+    output_v: float
+    max_current_a: float
+    quiescent_a: float
+    shutdown_a: float
+    efficiency: float = 0.90
+    adjustable_range_v: tuple[float, float] | None = None
+
+
+TPS78218 = RegulatorSpec(
+    name="TPS78218", topology="linear", output_v=1.8,
+    max_current_a=0.150, quiescent_a=0.45e-6, shutdown_a=0.05e-6)
+
+TPS62240 = RegulatorSpec(
+    name="TPS62240", topology="buck", output_v=1.8,
+    max_current_a=0.300, quiescent_a=22e-6, shutdown_a=0.1e-6,
+    efficiency=0.90)
+
+TPS62080 = RegulatorSpec(
+    name="TPS62080", topology="buck", output_v=3.5,
+    max_current_a=1.200, quiescent_a=12e-6, shutdown_a=0.25e-6,
+    efficiency=0.88)
+
+SC195 = RegulatorSpec(
+    name="SC195", topology="buck", output_v=1.8,
+    max_current_a=0.500, quiescent_a=28e-6, shutdown_a=0.1e-6,
+    efficiency=0.90, adjustable_range_v=(1.8, 3.6))
+
+
+class Regulator:
+    """One regulator instance with enable control and load accounting."""
+
+    def __init__(self, spec: RegulatorSpec, input_v: float = 3.7) -> None:
+        if input_v <= 0:
+            raise ConfigurationError(
+                f"input voltage must be positive, got {input_v!r}")
+        self.spec = spec
+        self.input_v = input_v
+        self.output_v = spec.output_v
+        self.enabled = False
+
+    def enable(self) -> None:
+        """Turn the regulator on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn the regulator off (shutdown current only)."""
+        self.enabled = False
+
+    def set_output_voltage(self, voltage_v: float) -> None:
+        """Retarget an adjustable regulator (the SC195 on domain V5).
+
+        Raises:
+            PowerError: for fixed parts or out-of-range targets.
+        """
+        if self.spec.adjustable_range_v is None:
+            raise PowerError(f"{self.spec.name} output is not adjustable")
+        low, high = self.spec.adjustable_range_v
+        if not low <= voltage_v <= high:
+            raise PowerError(
+                f"{self.spec.name} output must be {low}..{high} V, "
+                f"got {voltage_v!r}")
+        self.output_v = voltage_v
+
+    def input_power_w(self, load_w: float) -> float:
+        """Battery-side power draw for a given load power.
+
+        Raises:
+            PowerError: when loaded while disabled or beyond the current
+                rating.
+        """
+        if load_w < 0:
+            raise ConfigurationError(f"load must be >= 0, got {load_w!r}")
+        if not self.enabled:
+            if load_w > 0:
+                raise PowerError(
+                    f"{self.spec.name} is disabled but asked to supply "
+                    f"{load_w!r} W")
+            return self.spec.shutdown_a * self.input_v
+        if self.output_v > 0 and load_w / self.output_v > self.spec.max_current_a:
+            raise PowerError(
+                f"{self.spec.name} load {load_w / self.output_v:.3f} A exceeds "
+                f"rating {self.spec.max_current_a} A")
+        overhead = self.spec.quiescent_a * self.input_v
+        if self.spec.topology == "linear":
+            # A linear regulator draws the load current from the input rail.
+            if self.output_v <= 0:
+                raise PowerError(f"{self.spec.name} output voltage is zero")
+            return load_w * self.input_v / self.output_v + overhead
+        return load_w / self.spec.efficiency + overhead

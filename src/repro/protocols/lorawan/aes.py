@@ -1,0 +1,197 @@
+"""AES-128 block cipher, implemented from scratch.
+
+LoRaWAN's security primitives - frame MICs (AES-CMAC) and payload
+encryption (AES-CTR-style) - are all built on the AES-128 block
+operation.  The paper's MCU MAC implementation uses the same primitives
+via the TTN Arduino library; here the cipher is written out in full
+(key expansion, SubBytes/ShiftRows/MixColumns/AddRoundKey and their
+inverses) so the LoRaWAN stack has no external dependencies.
+
+Verified against FIPS-197 test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+BLOCK_BYTES = 16
+KEY_BYTES = 16
+NUM_ROUNDS = 10
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Construct the AES S-box from GF(2^8) inversion plus affine map."""
+    sbox = [0] * 256
+    inverse = [0] * 256
+    p = q = 1
+    # Iterate multiplicative generator 3 to enumerate inverses.
+    while True:
+        # p *= 3 in GF(2^8)
+        p = p ^ ((p << 1) & 0xFF) ^ (0x1B if p & 0x80 else 0)
+        # q /= 3 (multiply by inverse of 3)
+        q ^= (q << 1) & 0xFF
+        q ^= (q << 2) & 0xFF
+        q ^= (q << 4) & 0xFF
+        if q & 0x80:
+            q ^= 0x09
+        value = (q ^ _rotl8(q, 1) ^ _rotl8(q, 2) ^ _rotl8(q, 3)
+                 ^ _rotl8(q, 4) ^ 0x63)
+        sbox[p] = value
+        if p == 1:
+            break
+    sbox[0] = 0x63
+    for index, value in enumerate(sbox):
+        inverse[value] = index
+    return sbox, inverse
+
+
+def _rotl8(value: int, shift: int) -> int:
+    return ((value << shift) | (value >> (8 - shift))) & 0xFF
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def expand_key(key: bytes) -> list[list[int]]:
+    """AES-128 key schedule: 11 round keys of 16 bytes.
+
+    Raises:
+        ConfigurationError: for keys that are not 16 bytes.
+    """
+    if len(key) != KEY_BYTES:
+        raise ConfigurationError(
+            f"AES-128 key must be {KEY_BYTES} bytes, got {len(key)}")
+    words = [list(key[i:i + 4]) for i in range(0, 16, 4)]
+    for round_index in range(NUM_ROUNDS):
+        previous = words[-1]
+        rotated = previous[1:] + previous[:1]
+        substituted = [_SBOX[b] for b in rotated]
+        substituted[0] ^= _RCON[round_index]
+        base = words[-4]
+        new_word = [substituted[i] ^ base[i] for i in range(4)]
+        words.append(new_word)
+        for _ in range(3):
+            base = words[-4]
+            previous = words[-1]
+            words.append([previous[i] ^ base[i] for i in range(4)])
+    return [sum(words[4 * r:4 * r + 4], []) for r in range(NUM_ROUNDS + 1)]
+
+
+def _add_round_key(state: list[int], round_key: list[int]) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def _sub_bytes(state: list[int], box: list[int]) -> None:
+    for i in range(16):
+        state[i] = box[state[i]]
+
+
+def _shift_rows(state: list[int]) -> None:
+    # State is column-major: byte (row, col) lives at col*4 + row.
+    for row in range(1, 4):
+        values = [state[col * 4 + row] for col in range(4)]
+        values = values[row:] + values[:row]
+        for col in range(4):
+            state[col * 4 + row] = values[col]
+
+
+def _inv_shift_rows(state: list[int]) -> None:
+    for row in range(1, 4):
+        values = [state[col * 4 + row] for col in range(4)]
+        values = values[-row:] + values[:-row]
+        for col in range(4):
+            state[col * 4 + row] = values[col]
+
+
+def _mix_columns(state: list[int]) -> None:
+    for col in range(4):
+        a = state[col * 4:col * 4 + 4]
+        state[col * 4 + 0] = _gf_mul(a[0], 2) ^ _gf_mul(a[1], 3) ^ a[2] ^ a[3]
+        state[col * 4 + 1] = a[0] ^ _gf_mul(a[1], 2) ^ _gf_mul(a[2], 3) ^ a[3]
+        state[col * 4 + 2] = a[0] ^ a[1] ^ _gf_mul(a[2], 2) ^ _gf_mul(a[3], 3)
+        state[col * 4 + 3] = _gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ _gf_mul(a[3], 2)
+
+
+def _inv_mix_columns(state: list[int]) -> None:
+    for col in range(4):
+        a = state[col * 4:col * 4 + 4]
+        state[col * 4 + 0] = (_gf_mul(a[0], 14) ^ _gf_mul(a[1], 11)
+                              ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9))
+        state[col * 4 + 1] = (_gf_mul(a[0], 9) ^ _gf_mul(a[1], 14)
+                              ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13))
+        state[col * 4 + 2] = (_gf_mul(a[0], 13) ^ _gf_mul(a[1], 9)
+                              ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11))
+        state[col * 4 + 3] = (_gf_mul(a[0], 11) ^ _gf_mul(a[1], 13)
+                              ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14))
+
+
+def encrypt_block(key: bytes, plaintext: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128.
+
+    Raises:
+        ConfigurationError: for wrong key/block sizes.
+    """
+    if len(plaintext) != BLOCK_BYTES:
+        raise ConfigurationError(
+            f"block must be {BLOCK_BYTES} bytes, got {len(plaintext)}")
+    round_keys = expand_key(key)
+    state = list(plaintext)
+    _add_round_key(state, round_keys[0])
+    for round_index in range(1, NUM_ROUNDS):
+        _sub_bytes(state, _SBOX)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[round_index])
+    _sub_bytes(state, _SBOX)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[NUM_ROUNDS])
+    return bytes(state)
+
+
+def decrypt_block(key: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt one 16-byte block with AES-128.
+
+    LoRaWAN end devices use this for join-accept messages (which the
+    network encrypts with the *decrypt* primitive so constrained devices
+    only need the encrypt path; we provide both).
+
+    Raises:
+        ConfigurationError: for wrong key/block sizes.
+    """
+    if len(ciphertext) != BLOCK_BYTES:
+        raise ConfigurationError(
+            f"block must be {BLOCK_BYTES} bytes, got {len(ciphertext)}")
+    round_keys = expand_key(key)
+    state = list(ciphertext)
+    _add_round_key(state, round_keys[NUM_ROUNDS])
+    for round_index in range(NUM_ROUNDS - 1, 0, -1):
+        _inv_shift_rows(state)
+        _sub_bytes(state, _INV_SBOX)
+        _add_round_key(state, round_keys[round_index])
+        _inv_mix_columns(state)
+    _inv_shift_rows(state)
+    _sub_bytes(state, _INV_SBOX)
+    _add_round_key(state, round_keys[0])
+    return bytes(state)

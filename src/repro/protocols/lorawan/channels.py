@@ -1,0 +1,165 @@
+"""Regional channel plans and duty-cycle compliance.
+
+TinySDR's 779-1020 MHz coverage spans both major LoRaWAN regions (US915
+and EU868, paper Table 1), and a real MAC must hop channels and respect
+regulatory duty cycles - EU868's 1 % sub-band limit is the binding
+constraint on how often a node may transmit.  This module provides the
+two standard channel plans, pseudo-random hopping, and a duty-cycle
+ledger that answers "may I transmit now, and if not, when?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One uplink channel.
+
+    Attributes:
+        index: channel number within the plan.
+        frequency_hz: center frequency.
+        bandwidth_hz: channel bandwidth.
+        sub_band: regulatory sub-band the channel's duty cycle pools
+            into (EU868) or 0 where no sub-band limits apply (US915).
+    """
+
+    index: int
+    frequency_hz: float
+    bandwidth_hz: float
+    sub_band: int = 0
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """A region's uplink channel set plus its duty-cycle rule.
+
+    Attributes:
+        name: region identifier.
+        channels: the uplink channels.
+        duty_cycle_limit: max fraction of time on air per sub-band
+            (1.0 = unlimited, as in US915 where dwell time rules apply
+            instead).
+        dwell_time_limit_s: max single-transmission airtime (US915:
+            400 ms; 0 = unlimited).
+    """
+
+    name: str
+    channels: tuple[Channel, ...]
+    duty_cycle_limit: float = 1.0
+    dwell_time_limit_s: float = 0.0
+
+    def channel(self, index: int) -> Channel:
+        """Look up a channel by index.
+
+        Raises:
+            ConfigurationError: for unknown indices.
+        """
+        for channel in self.channels:
+            if channel.index == index:
+                return channel
+        raise ConfigurationError(
+            f"{self.name} has no channel {index}")
+
+
+def eu868_plan() -> ChannelPlan:
+    """EU868: the three mandatory 125 kHz channels (g1 sub-band, 1 %)."""
+    channels = tuple(
+        Channel(index=i, frequency_hz=f, bandwidth_hz=125e3, sub_band=1)
+        for i, f in enumerate((868.1e6, 868.3e6, 868.5e6)))
+    return ChannelPlan(name="EU868", channels=channels,
+                       duty_cycle_limit=0.01)
+
+
+def us915_plan() -> ChannelPlan:
+    """US915: 64 x 125 kHz uplink channels, 400 ms dwell limit."""
+    channels = tuple(
+        Channel(index=i, frequency_hz=902.3e6 + 200e3 * i,
+                bandwidth_hz=125e3)
+        for i in range(64))
+    return ChannelPlan(name="US915", channels=channels,
+                       dwell_time_limit_s=0.4)
+
+
+class ChannelHopper:
+    """Pseudo-random channel selection avoiding immediate repeats."""
+
+    def __init__(self, plan: ChannelPlan, rng: np.random.Generator) -> None:
+        if not plan.channels:
+            raise ConfigurationError(f"{plan.name} has no channels")
+        self.plan = plan
+        self._rng = rng
+        self._last_index: int | None = None
+
+    def next_channel(self) -> Channel:
+        """Pick the next uplink channel."""
+        candidates = [c for c in self.plan.channels
+                      if c.index != self._last_index]
+        if not candidates:
+            candidates = list(self.plan.channels)
+        choice = candidates[int(self._rng.integers(0, len(candidates)))]
+        self._last_index = choice.index
+        return choice
+
+
+@dataclass
+class DutyCycleLedger:
+    """Per-sub-band airtime accounting over a sliding window.
+
+    EU868 enforcement is usually implemented as: after transmitting for
+    ``t`` seconds on a 1 % sub-band, stay silent on that sub-band for
+    ``t * (1/limit - 1)`` - the form used here.
+    """
+
+    plan: ChannelPlan
+    _silent_until_s: dict[int, float] = field(default_factory=dict)
+
+    def can_transmit(self, channel: Channel, now_s: float,
+                     airtime_s: float) -> bool:
+        """Whether a transmission is allowed right now."""
+        if self.plan.dwell_time_limit_s and \
+                airtime_s > self.plan.dwell_time_limit_s:
+            return False
+        if self.plan.duty_cycle_limit >= 1.0:
+            return True
+        return now_s >= self._silent_until_s.get(channel.sub_band, 0.0)
+
+    def next_allowed_s(self, channel: Channel, now_s: float) -> float:
+        """Earliest time a transmission on the channel's sub-band may start."""
+        if self.plan.duty_cycle_limit >= 1.0:
+            return now_s
+        return max(now_s, self._silent_until_s.get(channel.sub_band, 0.0))
+
+    def record_transmission(self, channel: Channel, now_s: float,
+                            airtime_s: float) -> None:
+        """Account one transmission and arm the back-off.
+
+        Raises:
+            ProtocolError: when the transmission violates the rules
+                (callers must check :meth:`can_transmit` first).
+        """
+        if airtime_s <= 0:
+            raise ConfigurationError(
+                f"airtime must be positive, got {airtime_s!r}")
+        if not self.can_transmit(channel, now_s, airtime_s):
+            raise ProtocolError(
+                f"transmission on {self.plan.name} channel "
+                f"{channel.index} violates the regulatory limits")
+        if self.plan.duty_cycle_limit < 1.0:
+            backoff = airtime_s * (1.0 / self.plan.duty_cycle_limit - 1.0)
+            self._silent_until_s[channel.sub_band] = \
+                now_s + airtime_s + backoff
+
+    def max_message_rate_hz(self, airtime_s: float) -> float:
+        """Sustained message rate the duty cycle allows."""
+        if airtime_s <= 0:
+            raise ConfigurationError(
+                f"airtime must be positive, got {airtime_s!r}")
+        if self.plan.duty_cycle_limit >= 1.0:
+            return float("inf")
+        return self.plan.duty_cycle_limit / airtime_s

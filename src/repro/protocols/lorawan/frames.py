@@ -1,0 +1,198 @@
+"""LoRaWAN 1.0 frame codec: MHDR/FHDR, payload crypto, MIC.
+
+The paper's MCU runs a TTN-compatible LoRa MAC (section 4.1): frames a
+The Things Network gateway will accept.  This module implements the
+LoRaWAN 1.0.x data-frame format - MHDR, FHDR (DevAddr, FCtrl, FCnt,
+FOpts), port, encrypted FRMPayload and the 4-byte MIC - using the
+from-scratch AES/CMAC primitives.
+
+Payload encryption is the LoRaWAN CTR construction: A-blocks
+``01 | 0000 | dir | DevAddr | FCnt | 00 | i`` encrypted with the session
+key form the keystream.  The MIC is ``CMAC(NwkSKey, B0 | msg)[0:4]``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, MicError
+from repro.protocols.lorawan.aes import encrypt_block
+from repro.protocols.lorawan.cmac import truncated_cmac
+
+MIC_BYTES = 4
+MAX_FOPTS_BYTES = 15
+
+
+class MType(enum.IntEnum):
+    """LoRaWAN message types (MHDR bits 7..5)."""
+
+    JOIN_REQUEST = 0b000
+    JOIN_ACCEPT = 0b001
+    UNCONFIRMED_UP = 0b010
+    UNCONFIRMED_DOWN = 0b011
+    CONFIRMED_UP = 0b100
+    CONFIRMED_DOWN = 0b101
+
+
+UPLINK_TYPES = (MType.UNCONFIRMED_UP, MType.CONFIRMED_UP, MType.JOIN_REQUEST)
+
+LORAWAN_MAJOR = 0b00
+
+
+@dataclass(frozen=True)
+class SessionKeys:
+    """The two AES-128 session keys of an activated device."""
+
+    nwk_skey: bytes
+    app_skey: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.nwk_skey) != 16 or len(self.app_skey) != 16:
+            raise ConfigurationError("session keys must be 16 bytes each")
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """A parsed (plaintext) LoRaWAN data frame.
+
+    Attributes:
+        mtype: message type.
+        dev_addr: 32-bit device address.
+        fcnt: 16-bit frame counter (the low half of the 32-bit counter).
+        payload: decrypted application payload.
+        fport: application port (0 reserved for MAC commands).
+        fopts: piggybacked MAC commands (at most 15 bytes).
+        adr: adaptive-data-rate flag.
+        ack: acknowledge flag.
+    """
+
+    mtype: MType
+    dev_addr: int
+    fcnt: int
+    payload: bytes
+    fport: int = 1
+    fopts: bytes = b""
+    adr: bool = False
+    ack: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dev_addr <= 0xFFFFFFFF:
+            raise ConfigurationError(
+                f"DevAddr must be 32-bit, got {self.dev_addr:#x}")
+        if not 0 <= self.fcnt <= 0xFFFF:
+            raise ConfigurationError(
+                f"FCnt field must be 16-bit, got {self.fcnt}")
+        if len(self.fopts) > MAX_FOPTS_BYTES:
+            raise ConfigurationError(
+                f"FOpts limited to {MAX_FOPTS_BYTES} bytes, got "
+                f"{len(self.fopts)}")
+        if not 0 <= self.fport <= 255:
+            raise ConfigurationError(f"FPort must be 0..255, got {self.fport}")
+
+    @property
+    def is_uplink(self) -> bool:
+        """Whether this frame travels device -> network."""
+        return self.mtype in UPLINK_TYPES
+
+
+def _crypto_keystream(key: bytes, dev_addr: int, fcnt: int, uplink: bool,
+                      num_bytes: int) -> bytes:
+    """LoRaWAN CTR keystream from A-blocks."""
+    direction = 0 if uplink else 1
+    stream = bytearray()
+    block_index = 1
+    while len(stream) < num_bytes:
+        a_block = bytes((
+            0x01, 0x00, 0x00, 0x00, 0x00, direction,
+            dev_addr & 0xFF, (dev_addr >> 8) & 0xFF,
+            (dev_addr >> 16) & 0xFF, (dev_addr >> 24) & 0xFF,
+            fcnt & 0xFF, (fcnt >> 8) & 0xFF, 0x00, 0x00,
+            0x00, block_index))
+        stream += encrypt_block(key, a_block)
+        block_index += 1
+    return bytes(stream[:num_bytes])
+
+
+def encrypt_payload(payload: bytes, key: bytes, dev_addr: int, fcnt: int,
+                    uplink: bool) -> bytes:
+    """Encrypt (or decrypt - XOR keystream) an application payload."""
+    keystream = _crypto_keystream(key, dev_addr, fcnt, uplink, len(payload))
+    return bytes(p ^ k for p, k in zip(payload, keystream))
+
+
+def _mic_b0(msg_len: int, dev_addr: int, fcnt: int, uplink: bool) -> bytes:
+    direction = 0 if uplink else 1
+    return bytes((
+        0x49, 0x00, 0x00, 0x00, 0x00, direction,
+        dev_addr & 0xFF, (dev_addr >> 8) & 0xFF,
+        (dev_addr >> 16) & 0xFF, (dev_addr >> 24) & 0xFF,
+        fcnt & 0xFF, (fcnt >> 8) & 0xFF, 0x00, 0x00,
+        0x00, msg_len))
+
+
+def compute_mic(msg: bytes, nwk_skey: bytes, dev_addr: int, fcnt: int,
+                uplink: bool) -> bytes:
+    """Frame MIC: first 4 bytes of CMAC over B0 | msg."""
+    b0 = _mic_b0(len(msg), dev_addr, fcnt, uplink)
+    return truncated_cmac(nwk_skey, b0 + msg, MIC_BYTES)
+
+
+def serialize(frame: DataFrame, keys: SessionKeys) -> bytes:
+    """Encode, encrypt and MIC a data frame into a PHYPayload.
+
+    Raises:
+        ConfigurationError: for join message types (not data frames).
+    """
+    if frame.mtype in (MType.JOIN_REQUEST, MType.JOIN_ACCEPT):
+        raise ConfigurationError(
+            "serialize() handles data frames; use the join codec")
+    mhdr = (frame.mtype << 5) | LORAWAN_MAJOR
+    fctrl = ((0x80 if frame.adr else 0) | (0x20 if frame.ack else 0)
+             | (len(frame.fopts) & 0x0F))
+    fhdr = (frame.dev_addr.to_bytes(4, "little") + bytes((fctrl,))
+            + frame.fcnt.to_bytes(2, "little") + frame.fopts)
+    key = keys.app_skey if frame.fport != 0 else keys.nwk_skey
+    encrypted = encrypt_payload(frame.payload, key, frame.dev_addr,
+                                frame.fcnt, frame.is_uplink)
+    body = bytes((mhdr,)) + fhdr + bytes((frame.fport,)) + encrypted
+    mic = compute_mic(body, keys.nwk_skey, frame.dev_addr, frame.fcnt,
+                      frame.is_uplink)
+    return body + mic
+
+
+def deserialize(phy_payload: bytes, keys: SessionKeys) -> DataFrame:
+    """Parse, verify and decrypt a PHYPayload.
+
+    Raises:
+        MicError: when the MIC does not verify.
+        ConfigurationError: for malformed frames.
+    """
+    if len(phy_payload) < 1 + 7 + 1 + MIC_BYTES:
+        raise ConfigurationError(
+            f"PHYPayload of {len(phy_payload)} bytes is too short")
+    mhdr = phy_payload[0]
+    mtype = MType((mhdr >> 5) & 0x7)
+    if (mhdr & 0x3) != LORAWAN_MAJOR:
+        raise ConfigurationError(
+            f"unsupported LoRaWAN major version {mhdr & 0x3}")
+    body, mic = phy_payload[:-MIC_BYTES], phy_payload[-MIC_BYTES:]
+    dev_addr = int.from_bytes(body[1:5], "little")
+    fctrl = body[5]
+    fcnt = int.from_bytes(body[6:8], "little")
+    fopts_len = fctrl & 0x0F
+    fopts = body[8:8 + fopts_len]
+    uplink = mtype in UPLINK_TYPES
+    expected = compute_mic(body, keys.nwk_skey, dev_addr, fcnt, uplink)
+    if expected != mic:
+        raise MicError(
+            f"MIC mismatch: expected {expected.hex()}, got {mic.hex()}")
+    rest = body[8 + fopts_len:]
+    if not rest:
+        raise ConfigurationError("frame carries no FPort or payload")
+    fport = rest[0]
+    key = keys.app_skey if fport != 0 else keys.nwk_skey
+    payload = encrypt_payload(rest[1:], key, dev_addr, fcnt, uplink)
+    return DataFrame(mtype=mtype, dev_addr=dev_addr, fcnt=fcnt,
+                     payload=payload, fport=fport, fopts=fopts,
+                     adr=bool(fctrl & 0x80), ack=bool(fctrl & 0x20))

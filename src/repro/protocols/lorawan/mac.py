@@ -1,0 +1,266 @@
+"""LoRaWAN device MAC: ABP and OTAA activation, uplink/downlink flow.
+
+Paper section 4.1: "TTN uses two methods for device association;
+Over-the-air activation (OTAA) and activation by personalization (ABP)...
+Our platform can support both."  This module implements the device-side
+state machine for both methods plus enough of the network side (join
+processing, counter tracking) to run closed-loop tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, MicError, ProtocolError
+from repro.protocols.lorawan.aes import decrypt_block, encrypt_block
+from repro.protocols.lorawan.cmac import truncated_cmac
+from repro.protocols.lorawan.frames import (
+    DataFrame,
+    MType,
+    SessionKeys,
+    deserialize,
+    serialize,
+)
+
+JOIN_REQUEST_BYTES = 1 + 8 + 8 + 2 + 4
+
+
+@dataclass(frozen=True)
+class DeviceIdentity:
+    """Provisioned identity for OTAA.
+
+    Attributes:
+        dev_eui: 64-bit device EUI.
+        app_eui: 64-bit application (join) EUI.
+        app_key: root AES-128 key.
+    """
+
+    dev_eui: int
+    app_eui: int
+    app_key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.app_key) != 16:
+            raise ConfigurationError("AppKey must be 16 bytes")
+        if not 0 <= self.dev_eui < (1 << 64):
+            raise ConfigurationError("DevEUI must be 64-bit")
+        if not 0 <= self.app_eui < (1 << 64):
+            raise ConfigurationError("AppEUI must be 64-bit")
+
+
+def build_join_request(identity: DeviceIdentity, dev_nonce: int) -> bytes:
+    """Serialize and MIC a join-request.
+
+    Raises:
+        ConfigurationError: for an out-of-range DevNonce.
+    """
+    if not 0 <= dev_nonce <= 0xFFFF:
+        raise ConfigurationError(f"DevNonce must be 16-bit, got {dev_nonce}")
+    mhdr = bytes((MType.JOIN_REQUEST << 5,))
+    body = (mhdr + identity.app_eui.to_bytes(8, "little")
+            + identity.dev_eui.to_bytes(8, "little")
+            + dev_nonce.to_bytes(2, "little"))
+    mic = truncated_cmac(identity.app_key, body)
+    return body + mic
+
+
+def derive_session_keys(app_key: bytes, app_nonce: int, net_id: int,
+                        dev_nonce: int) -> SessionKeys:
+    """LoRaWAN 1.0 session key derivation.
+
+    ``NwkSKey = AES(AppKey, 0x01 | AppNonce | NetID | DevNonce | pad)``
+    and the same with ``0x02`` for AppSKey.
+    """
+    suffix = (app_nonce.to_bytes(3, "little") + net_id.to_bytes(3, "little")
+              + dev_nonce.to_bytes(2, "little") + bytes(7))
+    nwk = encrypt_block(app_key, bytes((0x01,)) + suffix)
+    app = encrypt_block(app_key, bytes((0x02,)) + suffix)
+    return SessionKeys(nwk_skey=nwk, app_skey=app)
+
+
+def build_join_accept(app_key: bytes, app_nonce: int, net_id: int,
+                      dev_addr: int) -> bytes:
+    """Network-side join-accept (encrypted with AES *decrypt*, per spec)."""
+    mhdr = bytes((MType.JOIN_ACCEPT << 5,))
+    body = (app_nonce.to_bytes(3, "little") + net_id.to_bytes(3, "little")
+            + dev_addr.to_bytes(4, "little") + bytes((0x00, 0x01)))
+    mic = truncated_cmac(app_key, mhdr + body)
+    padded = body + mic
+    if len(padded) % 16:
+        raise ProtocolError(
+            f"join-accept body+MIC must be block aligned, got {len(padded)}")
+    encrypted = b"".join(decrypt_block(app_key, padded[i:i + 16])
+                         for i in range(0, len(padded), 16))
+    return mhdr + encrypted
+
+
+def parse_join_accept(app_key: bytes,
+                      message: bytes) -> tuple[int, int, int]:
+    """Device-side join-accept processing.
+
+    Returns:
+        ``(app_nonce, net_id, dev_addr)``.
+
+    Raises:
+        MicError: on MIC mismatch.
+        ProtocolError: for malformed messages.
+    """
+    if len(message) < 17 or (len(message) - 1) % 16:
+        raise ProtocolError(
+            f"join-accept of {len(message)} bytes is malformed")
+    mhdr, encrypted = message[:1], message[1:]
+    decrypted = b"".join(encrypt_block(app_key, encrypted[i:i + 16])
+                         for i in range(0, len(encrypted), 16))
+    body, mic = decrypted[:-4], decrypted[-4:]
+    expected = truncated_cmac(app_key, mhdr + body)
+    if expected != mic:
+        raise MicError("join-accept MIC mismatch")
+    app_nonce = int.from_bytes(body[0:3], "little")
+    net_id = int.from_bytes(body[3:6], "little")
+    dev_addr = int.from_bytes(body[6:10], "little")
+    return app_nonce, net_id, dev_addr
+
+
+@dataclass
+class LoRaWanDevice:
+    """Device-side MAC state machine.
+
+    Construct either pre-activated (ABP: pass ``session`` and
+    ``dev_addr``) or with an OTAA ``identity`` and run the join flow.
+    """
+
+    identity: DeviceIdentity | None = None
+    session: SessionKeys | None = None
+    dev_addr: int | None = None
+    fcnt_up: int = 0
+    fcnt_down: int = 0
+    _last_dev_nonce: int | None = field(default=None, repr=False)
+
+    @property
+    def activated(self) -> bool:
+        """Whether the device holds a session (joined or personalized)."""
+        return self.session is not None and self.dev_addr is not None
+
+    def start_join(self, dev_nonce: int) -> bytes:
+        """OTAA step 1: emit a join-request.
+
+        Raises:
+            ProtocolError: when no OTAA identity is provisioned.
+        """
+        if self.identity is None:
+            raise ProtocolError("device has no OTAA identity")
+        self._last_dev_nonce = dev_nonce
+        return build_join_request(self.identity, dev_nonce)
+
+    def complete_join(self, join_accept: bytes) -> None:
+        """OTAA step 2: process the join-accept and derive keys.
+
+        Raises:
+            ProtocolError: out of order (no join in flight).
+        """
+        if self.identity is None or self._last_dev_nonce is None:
+            raise ProtocolError("no join-request in flight")
+        app_nonce, net_id, dev_addr = parse_join_accept(
+            self.identity.app_key, join_accept)
+        self.session = derive_session_keys(
+            self.identity.app_key, app_nonce, net_id, self._last_dev_nonce)
+        self.dev_addr = dev_addr
+        self.fcnt_up = 0
+        self.fcnt_down = 0
+
+    def uplink(self, payload: bytes, fport: int = 1,
+               confirmed: bool = False) -> bytes:
+        """Build the next uplink PHYPayload, advancing the frame counter.
+
+        Raises:
+            ProtocolError: when the device is not activated.
+        """
+        if not self.activated:
+            raise ProtocolError("device is not activated")
+        frame = DataFrame(
+            mtype=MType.CONFIRMED_UP if confirmed else MType.UNCONFIRMED_UP,
+            dev_addr=self.dev_addr, fcnt=self.fcnt_up & 0xFFFF,
+            payload=payload, fport=fport)
+        encoded = serialize(frame, self.session)
+        self.fcnt_up += 1
+        return encoded
+
+    def receive_downlink(self, phy_payload: bytes) -> DataFrame:
+        """Verify and decrypt a downlink; enforces counter monotonicity.
+
+        Raises:
+            ProtocolError: for stale frame counters (replay protection).
+            MicError: on MIC mismatch.
+        """
+        if not self.activated:
+            raise ProtocolError("device is not activated")
+        frame = deserialize(phy_payload, self.session)
+        if frame.dev_addr != self.dev_addr:
+            raise ProtocolError(
+                f"downlink for {frame.dev_addr:#x}, we are "
+                f"{self.dev_addr:#x}")
+        if frame.fcnt < self.fcnt_down:
+            raise ProtocolError(
+                f"replayed downlink counter {frame.fcnt} < {self.fcnt_down}")
+        self.fcnt_down = frame.fcnt + 1
+        return frame
+
+
+@dataclass
+class NetworkServer:
+    """Minimal network side: join processing and uplink verification."""
+
+    net_id: int = 0x000013
+    app_keys: dict[int, bytes] = field(default_factory=dict)
+    sessions: dict[int, SessionKeys] = field(default_factory=dict)
+    next_dev_addr: int = 0x26011000
+    app_nonce: int = 0x100
+
+    def register(self, identity: DeviceIdentity) -> None:
+        """Provision a device's root key."""
+        self.app_keys[identity.dev_eui] = identity.app_key
+
+    def handle_join_request(self, request: bytes) -> bytes:
+        """Verify a join-request and answer with a join-accept.
+
+        Raises:
+            ProtocolError: for unknown devices or malformed requests.
+            MicError: on MIC mismatch.
+        """
+        if len(request) != JOIN_REQUEST_BYTES:
+            raise ProtocolError(
+                f"join-request must be {JOIN_REQUEST_BYTES} bytes, got "
+                f"{len(request)}")
+        body, mic = request[:-4], request[-4:]
+        dev_eui = int.from_bytes(body[9:17], "little")
+        dev_nonce = int.from_bytes(body[17:19], "little")
+        app_key = self.app_keys.get(dev_eui)
+        if app_key is None:
+            raise ProtocolError(f"unknown DevEUI {dev_eui:#x}")
+        if truncated_cmac(app_key, body) != mic:
+            raise MicError("join-request MIC mismatch")
+        dev_addr = self.next_dev_addr
+        self.next_dev_addr += 1
+        self.app_nonce += 1
+        self.sessions[dev_addr] = derive_session_keys(
+            app_key, self.app_nonce, self.net_id, dev_nonce)
+        return build_join_accept(app_key, self.app_nonce, self.net_id,
+                                 dev_addr)
+
+    def handle_uplink(self, phy_payload: bytes) -> DataFrame:
+        """Verify and decrypt an uplink from any of our sessions.
+
+        Raises:
+            ProtocolError: for unknown device addresses.
+        """
+        if len(phy_payload) < 12:
+            raise ProtocolError("uplink too short")
+        dev_addr = int.from_bytes(phy_payload[1:5], "little")
+        session = self.sessions.get(dev_addr)
+        if session is None:
+            raise ProtocolError(f"no session for DevAddr {dev_addr:#x}")
+        return deserialize(phy_payload, session)
+
+    def personalize(self, dev_addr: int, session: SessionKeys) -> None:
+        """ABP: install a pre-shared session."""
+        self.sessions[dev_addr] = session

@@ -1,0 +1,131 @@
+"""LoRaWAN Class A receive-window timing against the platform's latencies.
+
+A Class A device opens RX1 exactly 1 s after its uplink ends (RX2 at
+2 s).  Whether a platform can catch the downlink depends on its TX->RX
+turnaround - which is why paper Table 4 measures it: "it takes 45 us
+... to switch from TX to RX mode ... this is sufficient to meet the
+timing requirements of IoT packet ACKs and MAC protocols."
+
+This module computes the window schedule for an uplink, checks it
+against the platform timing model, and simulates a confirmed-uplink
+exchange where the downlink ACK must land inside RX1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timing import platform_timings
+from repro.errors import ConfigurationError, ProtocolError
+from repro.phy.lora.params import LoRaParams
+
+RX1_DELAY_S = 1.0
+RX2_DELAY_S = 2.0
+RX2_PARAMS = LoRaParams(spreading_factor=12, bandwidth_hz=125e3)
+"""EU868 RX2 default: SF12/125 kHz (869.525 MHz)."""
+
+PREAMBLE_DETECT_SYMBOLS = 5
+"""The receiver must be listening for at least this many preamble
+symbols to detect a downlink."""
+
+
+@dataclass(frozen=True)
+class ReceiveWindow:
+    """One receive window relative to the uplink's end-of-transmission.
+
+    Attributes:
+        name: ``"RX1"`` or ``"RX2"``.
+        opens_at_s: window start after TX end.
+        params: LoRa configuration the window listens with.
+        minimum_open_s: how long the radio must listen to catch a
+            downlink preamble.
+    """
+
+    name: str
+    opens_at_s: float
+    params: LoRaParams
+
+    @property
+    def minimum_open_s(self) -> float:
+        """Listen time needed to detect a preamble."""
+        return PREAMBLE_DETECT_SYMBOLS * self.params.symbol_duration_s
+
+
+def class_a_windows(uplink_params: LoRaParams,
+                    rx1_offset: int = 0) -> tuple[ReceiveWindow,
+                                                  ReceiveWindow]:
+    """The two windows following an uplink.
+
+    RX1 uses the uplink data rate shifted by the network's RX1 offset
+    (0 = same); RX2 uses the fixed regional default.
+
+    Raises:
+        ConfigurationError: for offsets outside 0..5.
+    """
+    if not 0 <= rx1_offset <= 5:
+        raise ConfigurationError(
+            f"RX1 DR offset must be 0..5, got {rx1_offset}")
+    rx1_sf = min(uplink_params.spreading_factor + rx1_offset, 12)
+    rx1_params = LoRaParams(rx1_sf, uplink_params.bandwidth_hz)
+    return (ReceiveWindow("RX1", RX1_DELAY_S, rx1_params),
+            ReceiveWindow("RX2", RX2_DELAY_S, RX2_PARAMS))
+
+
+@dataclass(frozen=True)
+class WindowFeasibility:
+    """Whether the platform makes a window, and with what margin."""
+
+    window: ReceiveWindow
+    turnaround_s: float
+    margin_s: float
+
+    @property
+    def feasible(self) -> bool:
+        """True when the radio is listening before the window opens."""
+        return self.margin_s > 0.0
+
+
+def check_platform_meets_windows(uplink_params: LoRaParams
+                                 ) -> list[WindowFeasibility]:
+    """Check both Class A windows against the Table 4 turnaround."""
+    timings = platform_timings()
+    turnaround = timings.tx_to_rx_s
+    results = []
+    for window in class_a_windows(uplink_params):
+        margin = window.opens_at_s - turnaround
+        results.append(WindowFeasibility(
+            window=window, turnaround_s=turnaround, margin_s=margin))
+    return results
+
+
+def confirmed_uplink_exchange(uplink_params: LoRaParams,
+                              uplink_bytes: int,
+                              downlink_bytes: int,
+                              network_processing_s: float = 0.3
+                              ) -> dict[str, float]:
+    """Timeline of a confirmed uplink and its RX1 ACK.
+
+    Returns the event times (relative to uplink start) and verifies the
+    ACK transmission fits inside RX1's schedule.
+
+    Raises:
+        ProtocolError: if the network cannot make RX1 (it would answer
+            in RX2 instead).
+    """
+    uplink_airtime = uplink_params.airtime_s(uplink_bytes)
+    rx1, _ = class_a_windows(uplink_params)
+    ack_ready = uplink_airtime + network_processing_s
+    window_open = uplink_airtime + rx1.opens_at_s
+    if ack_ready > window_open:
+        raise ProtocolError(
+            f"network needs {network_processing_s}s but RX1 opens "
+            f"{rx1.opens_at_s}s after TX end")
+    ack_airtime = rx1.params.airtime_s(downlink_bytes)
+    turnaround = platform_timings().tx_to_rx_s
+    return {
+        "uplink_end_s": uplink_airtime,
+        "radio_listening_s": uplink_airtime + turnaround,
+        "rx1_opens_s": window_open,
+        "ack_ends_s": window_open + ack_airtime,
+        "turnaround_margin_s": rx1.opens_at_s - turnaround,
+    }

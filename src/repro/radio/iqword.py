@@ -1,0 +1,194 @@
+"""The 32-bit I/Q word structure of the radio-FPGA interface (paper Fig. 4).
+
+The AT86RF215 streams baseband samples over LVDS as 32-bit serial words at
+4 Mwords/s: a 2-bit ``I_SYNC`` pattern, 13 bits of I data and a control
+bit, then a 2-bit ``Q_SYNC`` pattern, 13 bits of Q data and a final
+control bit.  The FPGA deserializer uses the sync patterns to find word
+boundaries and loads the I and Q fields into 13-bit registers.
+
+This module is the bit-exact codec for that format: samples -> words ->
+bit stream and back, including the alignment search a cold-started
+deserializer performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.fixedpoint import from_codes, to_codes
+from repro.errors import FramingError
+
+WORD_BITS = 32
+SAMPLE_BITS = 13
+I_SYNC = 0b10
+Q_SYNC = 0b01
+SYNC_BITS = 2
+
+WORD_RATE_HZ = 4_000_000
+"""The radio outputs 32-bit words at 4 Mwords/s."""
+
+BIT_RATE_BPS = WORD_BITS * WORD_RATE_HZ
+"""128 Mbps serial rate, carried by a 64 MHz DDR clock."""
+
+
+@dataclass(frozen=True)
+class IqWord:
+    """One decoded 32-bit I/Q word.
+
+    Attributes:
+        i_code: signed 13-bit I sample code.
+        q_code: signed 13-bit Q sample code.
+        i_control: the control bit following the I field.
+        q_control: the control bit following the Q field.
+    """
+
+    i_code: int
+    q_code: int
+    i_control: int = 0
+    q_control: int = 0
+
+
+def _field_to_unsigned(code: int) -> int:
+    """Two's-complement 13-bit encoding of a signed sample code."""
+    if not -(1 << (SAMPLE_BITS - 1)) <= code < (1 << (SAMPLE_BITS - 1)):
+        raise FramingError(
+            f"sample code {code} does not fit in {SAMPLE_BITS} signed bits")
+    return code & ((1 << SAMPLE_BITS) - 1)
+
+
+def _field_to_signed(value: int) -> int:
+    """Decode a 13-bit two's-complement field."""
+    if value & (1 << (SAMPLE_BITS - 1)):
+        return value - (1 << SAMPLE_BITS)
+    return value
+
+
+def pack_word(word: IqWord) -> int:
+    """Pack one :class:`IqWord` into its 32-bit integer representation.
+
+    Bit layout, MSB transmitted first:
+    ``[I_SYNC:2][I:13][ctrl:1][Q_SYNC:2][Q:13][ctrl:1]``.
+    """
+    value = I_SYNC
+    value = (value << SAMPLE_BITS) | _field_to_unsigned(word.i_code)
+    value = (value << 1) | (word.i_control & 1)
+    value = (value << SYNC_BITS) | Q_SYNC
+    value = (value << SAMPLE_BITS) | _field_to_unsigned(word.q_code)
+    value = (value << 1) | (word.q_control & 1)
+    return value
+
+
+def unpack_word(value: int) -> IqWord:
+    """Decode a 32-bit integer into an :class:`IqWord`.
+
+    Raises:
+        FramingError: if either sync pattern is wrong (misaligned word).
+    """
+    if not 0 <= value < (1 << WORD_BITS):
+        raise FramingError(f"word {value:#x} does not fit in 32 bits")
+    q_control = value & 1
+    q_field = (value >> 1) & ((1 << SAMPLE_BITS) - 1)
+    q_sync = (value >> (1 + SAMPLE_BITS)) & 0b11
+    i_control = (value >> (1 + SAMPLE_BITS + SYNC_BITS)) & 1
+    i_field = (value >> (2 + SAMPLE_BITS + SYNC_BITS)) & ((1 << SAMPLE_BITS) - 1)
+    i_sync = (value >> (2 + 2 * SAMPLE_BITS + SYNC_BITS)) & 0b11
+    if i_sync != I_SYNC or q_sync != Q_SYNC:
+        raise FramingError(
+            f"sync patterns {i_sync:#04b}/{q_sync:#04b} do not match "
+            f"{I_SYNC:#04b}/{Q_SYNC:#04b}")
+    return IqWord(i_code=_field_to_signed(i_field),
+                  q_code=_field_to_signed(q_field),
+                  i_control=i_control, q_control=q_control)
+
+
+def samples_to_words(samples: np.ndarray,
+                     full_scale: float = 1.0) -> np.ndarray:
+    """Quantize complex samples to 13 bits and pack them into 32-bit words."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    i_codes = to_codes(samples.real, SAMPLE_BITS, full_scale)
+    q_codes = to_codes(samples.imag, SAMPLE_BITS, full_scale)
+    words = np.empty(samples.size, dtype=np.uint64)
+    for index, (i_code, q_code) in enumerate(zip(i_codes, q_codes)):
+        words[index] = pack_word(IqWord(int(i_code), int(q_code)))
+    return words
+
+
+def words_to_samples(words: np.ndarray,
+                     full_scale: float = 1.0) -> np.ndarray:
+    """Decode packed words back to complex samples.
+
+    Raises:
+        FramingError: on any word with corrupted sync patterns.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    i_codes = np.empty(words.size, dtype=np.int64)
+    q_codes = np.empty(words.size, dtype=np.int64)
+    for index, value in enumerate(words):
+        word = unpack_word(int(value))
+        i_codes[index] = word.i_code
+        q_codes[index] = word.q_code
+    return (from_codes(i_codes, SAMPLE_BITS, full_scale)
+            + 1j * from_codes(q_codes, SAMPLE_BITS, full_scale))
+
+
+def words_to_bits(words: np.ndarray) -> np.ndarray:
+    """Serialize packed words into the on-wire bit stream (MSB first)."""
+    words = np.asarray(words, dtype=np.uint64)
+    bits = np.empty(words.size * WORD_BITS, dtype=np.uint8)
+    for index, value in enumerate(words):
+        for bit in range(WORD_BITS):
+            bits[index * WORD_BITS + bit] = (int(value) >> (WORD_BITS - 1 - bit)) & 1
+    return bits
+
+
+def bits_to_words(bits: np.ndarray, offset: int = 0) -> np.ndarray:
+    """Pack an aligned bit stream back into 32-bit words from ``offset``."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    usable = (bits.size - offset) // WORD_BITS
+    if usable <= 0:
+        raise FramingError("bit stream shorter than one word")
+    words = np.empty(usable, dtype=np.uint64)
+    for w in range(usable):
+        value = 0
+        base = offset + w * WORD_BITS
+        for bit in range(WORD_BITS):
+            value = (value << 1) | int(bits[base + bit])
+        words[w] = value
+    return words
+
+
+def find_word_alignment(bits: np.ndarray, required_words: int = 4) -> int:
+    """Locate the word boundary in an unaligned serial bit stream.
+
+    Mirrors the FPGA deserializer's cold-start behaviour: slide a 32-bit
+    window until ``required_words`` consecutive words decode with valid
+    I_SYNC and Q_SYNC patterns.
+
+    Returns:
+        The bit offset of the first full word.
+
+    Raises:
+        FramingError: if no consistent alignment exists in the stream.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size < WORD_BITS * required_words:
+        raise FramingError(
+            f"need at least {WORD_BITS * required_words} bits to align, "
+            f"got {bits.size}")
+    for offset in range(min(WORD_BITS, bits.size - WORD_BITS * required_words + 1)):
+        aligned = True
+        for w in range(required_words):
+            base = offset + w * WORD_BITS
+            value = 0
+            for bit in range(WORD_BITS):
+                value = (value << 1) | int(bits[base + bit])
+            try:
+                unpack_word(value)
+            except FramingError:
+                aligned = False
+                break
+        if aligned:
+            return offset
+    raise FramingError("no valid word alignment found in bit stream")

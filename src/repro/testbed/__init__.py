@@ -1,0 +1,33 @@
+"""Campus testbed: deployments and OTA programming campaigns."""
+
+from repro.testbed.deployment import (
+    Deployment,
+    NodePlacement,
+    TESTBED_SIZE,
+    campus_deployment,
+)
+from repro.testbed.mobility import (
+    MobilePath,
+    MobileTransferResult,
+    Waypoint,
+    simulate_mobile_transfer,
+)
+from repro.testbed.simulator import (
+    CampaignResult,
+    NodeResult,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignResult",
+    "MobilePath",
+    "MobileTransferResult",
+    "Waypoint",
+    "simulate_mobile_transfer",
+    "Deployment",
+    "NodePlacement",
+    "NodeResult",
+    "TESTBED_SIZE",
+    "campus_deployment",
+    "run_campaign",
+]

@@ -1,0 +1,146 @@
+"""Mobile-node scenarios (paper section 1: battery operation enables
+deployment "in spaces without dedicated power access, or even in mobile
+scenarios").
+
+A mobile node follows a waypoint path at constant speed; its distance -
+and therefore RSSI - to the AP varies while a multi-minute OTA session
+is in flight.  The session simulator re-evaluates the link as the node
+moves, so a node driving away mid-update accumulates retransmissions
+exactly where its link degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ota.mac import (
+    ACK_BYTES,
+    ACK_TIMEOUT_S,
+    MAX_ATTEMPTS_PER_PACKET,
+    OtaLink,
+    TransferReport,
+    fragment_image,
+)
+from repro.testbed.deployment import Deployment
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A point on a mobile node's path."""
+
+    x_m: float
+    y_m: float
+
+
+class MobilePath:
+    """Piecewise-linear motion through waypoints at constant speed."""
+
+    def __init__(self, waypoints: list[Waypoint], speed_m_s: float) -> None:
+        if len(waypoints) < 2:
+            raise ConfigurationError(
+                f"need at least 2 waypoints, got {len(waypoints)}")
+        if speed_m_s <= 0:
+            raise ConfigurationError(
+                f"speed must be positive, got {speed_m_s!r}")
+        self.waypoints = list(waypoints)
+        self.speed_m_s = speed_m_s
+        self._segment_lengths = [
+            float(np.hypot(b.x_m - a.x_m, b.y_m - a.y_m))
+            for a, b in zip(waypoints, waypoints[1:])]
+        self.total_length_m = sum(self._segment_lengths)
+
+    @property
+    def duration_s(self) -> float:
+        """Time to traverse the whole path."""
+        return self.total_length_m / self.speed_m_s
+
+    def position_at(self, time_s: float) -> Waypoint:
+        """Position at a given time (clamped to the path ends)."""
+        if time_s <= 0:
+            return self.waypoints[0]
+        travelled = min(time_s * self.speed_m_s, self.total_length_m)
+        for (start, end), length in zip(
+                zip(self.waypoints, self.waypoints[1:]),
+                self._segment_lengths):
+            if travelled <= length or length == 0:
+                fraction = travelled / length if length else 0.0
+                return Waypoint(
+                    x_m=start.x_m + fraction * (end.x_m - start.x_m),
+                    y_m=start.y_m + fraction * (end.y_m - start.y_m))
+            travelled -= length
+        return self.waypoints[-1]
+
+    def distance_to_origin_at(self, time_s: float) -> float:
+        """Distance from the AP (at the origin) at a given time."""
+        position = self.position_at(time_s)
+        return float(np.hypot(position.x_m, position.y_m))
+
+
+@dataclass
+class MobileTransferResult:
+    """Outcome of an OTA transfer to a moving node.
+
+    Attributes:
+        report: the underlying transfer accounting.
+        rssi_trace: (time, rssi) samples across the session.
+    """
+
+    report: TransferReport
+    rssi_trace: list[tuple[float, float]]
+
+
+def simulate_mobile_transfer(deployment: Deployment, path: MobilePath,
+                             image: bytes, rng: np.random.Generator,
+                             tx_power_dbm: float = 14.0
+                             ) -> MobileTransferResult:
+    """Run the stop-and-wait OTA data phase against a moving node.
+
+    The link RSSI is re-derived from the node's instantaneous position
+    before every transmission attempt.
+    """
+    link_template = OtaLink()
+    params = link_template.params
+    fragments = fragment_image(image)
+    ack_airtime = link_template.airtime_s(ACK_BYTES)
+
+    report = TransferReport()
+    trace: list[tuple[float, float]] = []
+    clock = 0.0
+    for fragment in fragments:
+        data_airtime = link_template.airtime_s(fragment.wire_bytes)
+        delivered = False
+        for attempt in range(MAX_ATTEMPTS_PER_PACKET):
+            distance = path.distance_to_origin_at(clock)
+            rssi = deployment.channel.received_power_dbm(
+                tx_power_dbm, max(distance, 1.0),
+                tx_gain_dbi=deployment.ap_antenna_gain_dbi)
+            link = OtaLink(params=params, downlink_rssi_dbm=rssi,
+                           uplink_rssi_dbm=rssi)
+            trace.append((clock, rssi))
+            report.packets_sent += 1
+            if attempt:
+                report.retransmissions += 1
+            clock += data_airtime
+            report.node_rx_time_s += data_airtime
+            if not link.packet_success(fragment.wire_bytes, uplink=False,
+                                       rng=rng):
+                clock += ACK_TIMEOUT_S
+                continue
+            clock += ack_airtime
+            report.node_tx_time_s += ack_airtime
+            if link.packet_success(ACK_BYTES, uplink=True, rng=rng):
+                delivered = True
+                break
+            clock += ACK_TIMEOUT_S
+        if not delivered:
+            report.failed = True
+            report.events.append(
+                f"fragment {fragment.sequence} lost while node at "
+                f"{path.distance_to_origin_at(clock):.0f} m")
+            break
+        report.packets_delivered += 1
+    report.duration_s = clock
+    return MobileTransferResult(report=report, rssi_trace=trace)

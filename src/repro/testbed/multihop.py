@@ -1,0 +1,199 @@
+"""Multi-hop relaying over the testbed (paper section 7).
+
+"One can also create multi-hop IoT PHY/MAC innovations, which have not
+been explored well given the lack of a flexible platform."  This module
+provides the substrate such work needs: link-quality graphs over a
+deployment, shortest-usable-path routing, and end-to-end delivery
+simulation where each hop is an independent LoRa link - so coverage-vs-
+latency and relay-energy trade-offs become measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.ota.mac import OTA_PREAMBLE_SYMBOLS
+from repro.phy.lora.params import LoRaParams
+from repro.radio.sx1276 import packet_error_probability
+from repro.testbed.deployment import Deployment
+
+DEFAULT_HOP_PARAMS = LoRaParams(8, 125e3)
+GATEWAY_ID = -1
+"""Virtual node id for the AP/gateway at the origin."""
+
+
+def _distance(a: tuple[float, float], b: tuple[float, float]) -> float:
+    return float(np.hypot(a[0] - b[0], a[1] - b[1]))
+
+
+@dataclass(frozen=True)
+class Link:
+    """A usable directed link in the mesh.
+
+    Attributes:
+        source: node id (``GATEWAY_ID`` for the AP).
+        destination: node id.
+        rssi_dbm: median received power.
+        per: packet error rate for the routing payload size.
+    """
+
+    source: int
+    destination: int
+    rssi_dbm: float
+    per: float
+
+
+class MeshGraph:
+    """Link-quality graph over a deployment plus the gateway."""
+
+    def __init__(self, deployment: Deployment,
+                 params: LoRaParams = DEFAULT_HOP_PARAMS,
+                 tx_power_dbm: float = 14.0,
+                 payload_bytes: int = 20,
+                 max_per: float = 0.1) -> None:
+        if not 0.0 < max_per < 1.0:
+            raise ConfigurationError(
+                f"max PER must be in (0, 1), got {max_per!r}")
+        self.deployment = deployment
+        self.params = params
+        self.payload_bytes = payload_bytes
+        self.max_per = max_per
+        self._positions: dict[int, tuple[float, float]] = {
+            GATEWAY_ID: (0.0, 0.0)}
+        for node in deployment.nodes:
+            self._positions[node.node_id] = (node.x_m, node.y_m)
+        self.links = self._build_links(tx_power_dbm)
+
+    def _build_links(self, tx_power_dbm: float) -> list[Link]:
+        links = []
+        ids = list(self._positions)
+        for source in ids:
+            for destination in ids:
+                if source == destination:
+                    continue
+                distance = _distance(self._positions[source],
+                                     self._positions[destination])
+                gain = (self.deployment.ap_antenna_gain_dbi
+                        if GATEWAY_ID in (source, destination) else 0.0)
+                rssi = self.deployment.channel.received_power_dbm(
+                    tx_power_dbm, max(distance, 1.0), tx_gain_dbi=gain)
+                per = packet_error_probability(
+                    self.params, rssi, self.payload_bytes,
+                    OTA_PREAMBLE_SYMBOLS)
+                if per <= self.max_per:
+                    links.append(Link(source, destination, rssi, per))
+        return links
+
+    def neighbors(self, node_id: int) -> list[Link]:
+        """Outgoing usable links of a node."""
+        return [l for l in self.links if l.source == node_id]
+
+    def route(self, source: int, destination: int) -> list[Link]:
+        """Minimum-expected-transmissions path (Dijkstra over ETX).
+
+        The ETX of a link is ``1 / (1 - PER)`` - the standard multi-hop
+        routing metric.
+
+        Raises:
+            ProtocolError: when no usable path exists.
+        """
+        if source not in self._positions or \
+                destination not in self._positions:
+            raise ConfigurationError("unknown source or destination")
+        costs = {node: float("inf") for node in self._positions}
+        costs[source] = 0.0
+        previous: dict[int, Link] = {}
+        unvisited = set(self._positions)
+        while unvisited:
+            current = min(unvisited, key=lambda n: costs[n])
+            if costs[current] == float("inf"):
+                break
+            unvisited.remove(current)
+            if current == destination:
+                break
+            for link in self.neighbors(current):
+                if link.destination not in unvisited:
+                    continue
+                etx = 1.0 / (1.0 - link.per)
+                candidate = costs[current] + etx
+                if candidate < costs[link.destination]:
+                    costs[link.destination] = candidate
+                    previous[link.destination] = link
+        if destination not in previous and source != destination:
+            raise ProtocolError(
+                f"no usable route from {source} to {destination}")
+        path: list[Link] = []
+        cursor = destination
+        while cursor != source:
+            link = previous[cursor]
+            path.append(link)
+            cursor = link.source
+        return list(reversed(path))
+
+
+@dataclass(frozen=True)
+class DeliveryResult:
+    """Outcome of one end-to-end multi-hop delivery.
+
+    Attributes:
+        delivered: whether the packet reached the destination.
+        transmissions: total transmissions across all hops (with
+            per-hop retries).
+        latency_s: end-to-end time including retransmission delays.
+        hops: path length.
+    """
+
+    delivered: bool
+    transmissions: int
+    latency_s: float
+    hops: int
+
+
+def simulate_delivery(graph: MeshGraph, path: list[Link],
+                      rng: np.random.Generator,
+                      max_retries_per_hop: int = 3,
+                      fading_sigma_db: float = 2.0) -> DeliveryResult:
+    """Send one packet along a route with per-hop ARQ."""
+    airtime = graph.params.airtime_s(graph.payload_bytes)
+    transmissions = 0
+    latency = 0.0
+    for link in path:
+        delivered = False
+        for _ in range(1 + max_retries_per_hop):
+            transmissions += 1
+            latency += airtime
+            rssi = link.rssi_dbm + float(rng.normal(0.0, fading_sigma_db))
+            per = packet_error_probability(
+                graph.params, rssi, graph.payload_bytes,
+                OTA_PREAMBLE_SYMBOLS)
+            if rng.random() >= per:
+                delivered = True
+                break
+            latency += 0.1  # retry timeout
+        if not delivered:
+            return DeliveryResult(delivered=False,
+                                  transmissions=transmissions,
+                                  latency_s=latency, hops=len(path))
+    return DeliveryResult(delivered=True, transmissions=transmissions,
+                          latency_s=latency, hops=len(path))
+
+
+def coverage_report(graph: MeshGraph) -> dict[str, float]:
+    """How much of the fleet the gateway reaches, directly and meshed."""
+    direct = {l.destination for l in graph.neighbors(GATEWAY_ID)}
+    meshed = set()
+    for node in graph.deployment.nodes:
+        try:
+            graph.route(GATEWAY_ID, node.node_id)
+            meshed.add(node.node_id)
+        except ProtocolError:
+            pass
+    total = len(graph.deployment.nodes)
+    return {
+        "nodes": float(total),
+        "direct_coverage": len(direct) / total,
+        "mesh_coverage": len(meshed) / total,
+    }

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep-lora"])
+        assert args.sf == 8
+        assert args.bandwidth == 125.0
+
+    def test_campaign_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--image", "wifi"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "$54.53" in output
+        assert "22.4" in output  # wakeup ms
+
+    def test_power(self, capsys):
+        assert main(["power"]) == 0
+        output = capsys.readouterr().out
+        assert "sleep" in output
+        assert "uW" in output
+        assert "iq_tx" in output
+
+    def test_sweep_lora_small(self, capsys):
+        code = main(["sweep-lora", "--start", "-110", "--stop", "-116",
+                     "--step", "6", "--symbols", "20"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SF8/BW125kHz" in output
+        assert "-110.0 dBm" in output
+
+    def test_sweep_ble_small(self, capsys):
+        code = main(["sweep-ble", "--start", "-80", "--stop", "-84",
+                     "--step", "4", "--packets", "2"])
+        assert code == 0
+        assert "BER" in capsys.readouterr().out
+
+    def test_campaign_small(self, capsys):
+        code = main(["campaign", "--image", "ble", "--nodes", "3",
+                     "--seed", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "programmed 3/3 nodes" in output

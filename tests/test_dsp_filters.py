@@ -1,0 +1,120 @@
+"""Tests for FIR design, block filtering and the streaming filter."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import (
+    StreamingFir,
+    design_lowpass,
+    filter_block,
+    frequency_response,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDesignLowpass:
+    def test_unity_dc_gain(self):
+        taps = design_lowpass(14, 62.5e3, 250e3)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_passband_flat_stopband_rejecting(self):
+        taps = design_lowpass(63, 50e3, 500e3)
+        passband = frequency_response(taps, np.array([0.0, 20e3]), 500e3)
+        stopband = frequency_response(taps, np.array([150e3, 200e3]), 500e3)
+        assert np.all(np.abs(passband) > 0.95)
+        assert np.all(np.abs(stopband) < 0.05)
+
+    def test_linear_phase_symmetry(self):
+        taps = design_lowpass(14, 62.5e3, 250e3)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_all_windows_supported(self):
+        for window in ("rectangular", "hamming", "hann", "blackman"):
+            taps = design_lowpass(15, 0.1e6, 1e6, window=window)
+            assert taps.size == 15
+
+    def test_rejects_unknown_window(self):
+        with pytest.raises(ConfigurationError):
+            design_lowpass(15, 0.1e6, 1e6, window="kaiser")
+
+    def test_rejects_cutoff_beyond_nyquist(self):
+        with pytest.raises(ConfigurationError):
+            design_lowpass(15, 0.6e6, 1e6)
+
+    def test_rejects_zero_taps(self):
+        with pytest.raises(ConfigurationError):
+            design_lowpass(0, 0.1e6, 1e6)
+
+
+class TestFilterBlock:
+    def test_preserves_length(self, rng):
+        taps = design_lowpass(14, 0.2e6, 1e6)
+        signal = rng.normal(size=100) + 1j * rng.normal(size=100)
+        assert filter_block(taps, signal).size == 100
+
+    def test_empty_input(self):
+        taps = design_lowpass(14, 0.2e6, 1e6)
+        assert filter_block(taps, np.array([])).size == 0
+
+    def test_dc_passes_through(self):
+        taps = design_lowpass(21, 0.2e6, 1e6)
+        signal = np.ones(200, dtype=complex)
+        out = filter_block(taps, signal)
+        assert np.allclose(out[30:-30], 1.0, atol=1e-6)
+
+    def test_group_delay_compensated(self):
+        # A tone in the passband should come out (nearly) aligned.
+        taps = design_lowpass(21, 0.25e6, 1e6)
+        n = np.arange(400)
+        tone = np.exp(2j * np.pi * 0.02 * n)
+        out = filter_block(taps, tone)
+        # Compare away from the edges.
+        phase_error = np.angle(out[50:350] * np.conj(tone[50:350]))
+        assert np.max(np.abs(phase_error)) < 0.05
+
+
+class TestStreamingFir:
+    def test_matches_block_filtering(self, rng):
+        taps = design_lowpass(14, 0.2e6, 1e6)
+        signal = rng.normal(size=256) + 1j * rng.normal(size=256)
+        streaming = StreamingFir(taps)
+        chunked = np.concatenate([streaming.process(signal[:100]),
+                                  streaming.process(signal[100:170]),
+                                  streaming.process(signal[170:])])
+        whole = np.convolve(np.concatenate([np.zeros(13), signal]), taps,
+                            mode="valid")
+        assert np.allclose(chunked, whole)
+
+    def test_reset_clears_state(self, rng):
+        taps = design_lowpass(8, 0.2e6, 1e6)
+        streaming = StreamingFir(taps)
+        signal = rng.normal(size=64) + 0j
+        first = streaming.process(signal)
+        streaming.reset()
+        second = streaming.process(signal)
+        assert np.allclose(first, second)
+
+    def test_empty_chunk(self):
+        streaming = StreamingFir(design_lowpass(8, 0.2e6, 1e6))
+        assert streaming.process(np.array([])).size == 0
+
+    def test_taps_property_is_copy(self):
+        streaming = StreamingFir(design_lowpass(8, 0.2e6, 1e6))
+        taps = streaming.taps
+        taps[0] = 99.0
+        assert streaming.taps[0] != 99.0
+
+    def test_rejects_empty_taps(self):
+        with pytest.raises(ConfigurationError):
+            StreamingFir(np.array([]))
+
+
+class TestFrequencyResponse:
+    def test_dc_response_is_tap_sum(self):
+        taps = np.array([0.25, 0.5, 0.25])
+        response = frequency_response(taps, np.array([0.0]), 1e6)
+        assert response[0] == pytest.approx(1.0)
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            frequency_response(np.ones(3), np.array([0.0]), 0.0)

@@ -1,0 +1,167 @@
+"""Tests for fixed-point quantization, Gaussian pulses and measurements."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import fixedpoint, measure, pulse
+from repro.errors import ConfigurationError
+
+
+class TestQuantize:
+    def test_identity_on_grid_values(self):
+        values = np.array([0.0, 0.5, -0.5])
+        assert np.allclose(fixedpoint.quantize(values, 8), values)
+
+    def test_step_size(self):
+        out = fixedpoint.quantize(np.array([0.3]), 3)  # levels of 0.25
+        assert out[0] == pytest.approx(0.25)
+
+    def test_saturation_clips(self):
+        out = fixedpoint.quantize(np.array([2.0, -2.0]), 8, saturate=True)
+        assert out[0] == pytest.approx(1.0 - 2 ** -7)
+        assert out[1] == pytest.approx(-1.0)
+
+    def test_wrapping_mode(self):
+        out = fixedpoint.quantize(np.array([1.0]), 8, saturate=False)
+        assert out[0] == pytest.approx(-1.0)
+
+    def test_complex_quantization(self):
+        value = np.array([0.3 + 0.7j])
+        out = fixedpoint.quantize_complex(value, 13)
+        assert abs(out[0].real - 0.3) < 2 ** -12
+        assert abs(out[0].imag - 0.7) < 2 ** -12
+
+    def test_codes_roundtrip(self, rng):
+        values = rng.uniform(-0.99, 0.99, 100)
+        codes = fixedpoint.to_codes(values, 13)
+        back = fixedpoint.from_codes(codes, 13)
+        assert np.max(np.abs(back - values)) < 2 ** -12
+
+    def test_13bit_code_range(self):
+        codes = fixedpoint.to_codes(np.array([1.0, -1.0]), 13)
+        assert codes[0] == 4095
+        assert codes[1] == -4096
+
+    def test_quantization_snr_formula(self):
+        assert fixedpoint.quantization_snr_db(13) == pytest.approx(80.02)
+
+    def test_rejects_one_bit(self):
+        with pytest.raises(ConfigurationError):
+            fixedpoint.quantize(np.array([0.5]), 1)
+
+    def test_measured_snr_tracks_formula(self, rng):
+        n = np.arange(8192)
+        tone = np.sin(2 * np.pi * 0.1 * n) * 0.999
+        quantized = fixedpoint.quantize(tone, 13)
+        noise = quantized - tone
+        snr = 10 * np.log10(np.mean(tone ** 2) / np.mean(noise ** 2))
+        assert snr > 75.0
+
+
+class TestGaussianPulse:
+    def test_taps_normalized(self):
+        taps = pulse.gaussian_taps(0.5, 4)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_taps_symmetric(self):
+        taps = pulse.gaussian_taps(0.5, 8, span_symbols=4)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_narrower_bt_spreads_pulse(self):
+        tight = pulse.gaussian_taps(1.0, 8)
+        loose = pulse.gaussian_taps(0.3, 8)
+        # Lower BT -> wider pulse -> smaller center tap.
+        assert loose[len(loose) // 2] < tight[len(tight) // 2]
+
+    def test_rejects_bad_bt(self):
+        with pytest.raises(ConfigurationError):
+            pulse.gaussian_taps(0.0, 4)
+
+    def test_upsample_repeats(self):
+        out = pulse.upsample(np.array([1, 0, 1]), 3)
+        assert np.array_equal(out, [1, 1, 1, -1, -1, -1, 1, 1, 1])
+
+    def test_upsample_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            pulse.upsample(np.array([0, 2]), 4)
+
+    def test_shape_bits_length(self):
+        out = pulse.shape_bits(np.ones(10, dtype=int), 0.5, 4)
+        assert out.size == 40
+
+    def test_shaped_levels_reach_full_deviation(self):
+        # A long run of ones should settle at +1.
+        out = pulse.shape_bits(np.ones(20, dtype=int), 0.5, 4)
+        assert out[40] == pytest.approx(1.0, abs=1e-3)
+
+    def test_isolated_bit_attenuated_by_isi(self):
+        bits = np.array([0] * 8 + [1] + [0] * 8)
+        out = pulse.shape_bits(bits, 0.5, 8)
+        center = out[8 * 8 + 4]
+        assert 0.5 < center < 1.0
+
+    def test_frequency_to_phase_integrates(self):
+        freq = np.ones(100)
+        phase = pulse.frequency_to_phase(freq, 250e3, 1e6)
+        step = 2 * np.pi * 250e3 / 1e6
+        assert phase[0] == pytest.approx(step)
+        assert phase[-1] == pytest.approx(100 * step)
+
+    def test_frequency_to_phase_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            pulse.frequency_to_phase(np.ones(4), 250e3, 0.0)
+
+
+class TestMeasure:
+    def test_signal_power_of_unit_tone(self):
+        tone = np.exp(2j * np.pi * 0.1 * np.arange(100))
+        assert measure.signal_power(tone) == pytest.approx(1.0)
+
+    def test_scale_to_power(self, rng):
+        signal = rng.normal(size=500) + 1j * rng.normal(size=500)
+        scaled = measure.scale_to_power(signal, 0.25)
+        assert measure.signal_power(scaled) == pytest.approx(0.25)
+
+    def test_scale_rejects_zero_signal(self):
+        with pytest.raises(ConfigurationError):
+            measure.scale_to_power(np.zeros(10), 1.0)
+
+    def test_periodogram_finds_tone(self):
+        fs = 4e6
+        tone = np.exp(2j * np.pi * 1e6 * np.arange(4096) / fs)
+        freqs, psd = measure.periodogram(tone, fs)
+        assert freqs[np.argmax(psd)] == pytest.approx(1e6, abs=fs / 4096)
+
+    def test_periodogram_tone_reads_0db(self):
+        fs = 4e6
+        tone = np.exp(2j * np.pi * 0.25e6 * np.arange(4096) / fs)
+        _, psd = measure.periodogram(tone, fs)
+        assert np.max(psd) == pytest.approx(0.0, abs=0.1)
+
+    def test_sfdr_of_clean_tone_is_large(self):
+        fs = 4e6
+        tone = np.exp(2j * np.pi * 1e6 * np.arange(8192) / fs)
+        sfdr = measure.spurious_free_dynamic_range_db(tone, fs, 1e6, 10e3)
+        assert sfdr > 100.0
+
+    def test_estimate_snr(self, rng):
+        signal = np.exp(2j * np.pi * 0.01 * np.arange(2000))
+        noise = (rng.normal(size=2000) + 1j * rng.normal(size=2000)) * 0.1
+        snr = measure.estimate_snr_db(signal, signal + noise)
+        assert snr == pytest.approx(10 * np.log10(1 / 0.02), abs=0.5)
+
+    def test_envelope_tracks_amplitude(self):
+        signal = np.concatenate([np.ones(50), np.zeros(50)]) * (1 + 0j)
+        env = measure.envelope(signal)
+        assert env[25] == pytest.approx(1.0)
+        assert env[75] == pytest.approx(0.0)
+
+    def test_envelope_smoothing(self, rng):
+        signal = np.ones(100) + 0.2 * rng.normal(size=100)
+        rough = measure.envelope(signal.astype(complex))
+        smooth = measure.envelope(signal.astype(complex), 10)
+        assert np.std(smooth[10:-10]) < np.std(rough[10:-10])
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure.signal_power(np.array([]))

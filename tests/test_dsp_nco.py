@@ -1,0 +1,109 @@
+"""Tests for the quantized NCO / phase accumulator."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.nco import Nco, NcoConfig
+from repro.errors import ConfigurationError
+
+
+class TestNcoConfig:
+    def test_defaults_valid(self):
+        config = NcoConfig()
+        assert config.phase_bits == 32
+        assert config.table_address_bits == 10
+        assert config.amplitude_bits == 13
+
+    def test_rejects_narrow_accumulator(self):
+        with pytest.raises(ConfigurationError):
+            NcoConfig(phase_bits=2)
+
+    def test_rejects_table_wider_than_accumulator(self):
+        with pytest.raises(ConfigurationError):
+            NcoConfig(phase_bits=8, table_address_bits=10)
+
+    def test_rejects_one_bit_amplitude(self):
+        with pytest.raises(ConfigurationError):
+            NcoConfig(amplitude_bits=1)
+
+
+class TestToneGeneration:
+    def test_tone_frequency_is_accurate(self):
+        nco = Nco()
+        fs = 4e6
+        samples = nco.tone(250e3, fs, 4096)
+        spectrum = np.abs(np.fft.fft(samples))
+        peak_bin = int(np.argmax(spectrum))
+        expected_bin = round(250e3 / fs * 4096)
+        assert peak_bin == expected_bin
+
+    def test_amplitude_near_unity(self):
+        samples = Nco().tone(100e3, 4e6, 1000)
+        assert np.all(np.abs(np.abs(samples) - 1.0) < 0.01)
+
+    def test_negative_frequency(self):
+        nco = Nco()
+        samples = nco.tone(-250e3, 4e6, 4096)
+        spectrum = np.abs(np.fft.fft(samples))
+        assert int(np.argmax(spectrum)) == 4096 - 256
+
+    def test_phase_continuity_across_calls(self):
+        nco = Nco()
+        first = nco.tone(100e3, 4e6, 100)
+        second = nco.tone(100e3, 4e6, 100)
+        joined = np.concatenate([first, second])
+        nco.reset()
+        whole = nco.tone(100e3, 4e6, 200)
+        assert np.allclose(joined, whole)
+
+    def test_quantization_spurs_bounded(self):
+        # A 13-bit, 1024-entry LUT tone should have > 60 dB SFDR.
+        nco = Nco()
+        fs = 4e6
+        samples = nco.tone(fs / 8, fs, 8192)
+        spectrum = np.abs(np.fft.fft(samples * np.hanning(8192)))
+        peak = np.max(spectrum)
+        spectrum[np.argmax(spectrum) - 4:np.argmax(spectrum) + 5] = 0.0
+        assert 20 * np.log10(peak / np.max(spectrum)) > 60.0
+
+    def test_rejects_super_nyquist(self):
+        with pytest.raises(ConfigurationError):
+            Nco().tone(3e6, 4e6, 10)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            Nco().tone(1e5, 4e6, -1)
+
+
+class TestPhaseSequences:
+    def test_phase_increment_resolution(self):
+        nco = Nco(NcoConfig(phase_bits=32))
+        increment = nco.phase_increment(1e6, 4e6)
+        assert increment == 2 ** 30
+
+    def test_from_phase_sequence_matches_lookup(self):
+        nco = Nco()
+        phases = np.arange(0, 2 ** 20, 2 ** 12, dtype=np.int64)
+        assert np.allclose(nco.from_phase_sequence(phases),
+                           nco.lookup(phases))
+
+    def test_quadratic_phase_makes_a_chirp(self):
+        nco = Nco()
+        fs = 125e3
+        n = 256
+        # Sweep -BW/2 .. +BW/2 over one symbol.
+        phases = nco.quadratic_phase(n, -fs / 2, fs * fs / n, fs)
+        chirp = nco.from_phase_sequence(phases)
+        # Dechirp against an ideal conjugate chirp: energy collapses to DC.
+        t = np.arange(n) / fs
+        ideal = np.exp(2j * np.pi * (-fs / 2 * t + 0.5 * fs * fs / n * t * t))
+        product = chirp * np.conj(ideal)
+        spectrum = np.abs(np.fft.fft(product))
+        assert int(np.argmax(spectrum)) == 0
+        assert spectrum[0] > 0.99 * n
+
+    def test_reset_sets_phase(self):
+        nco = Nco()
+        nco.tone(1e5, 4e6, 17)
+        nco.reset(12345)
+        assert nco.phase == 12345

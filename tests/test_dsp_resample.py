@@ -1,0 +1,87 @@
+"""Tests for decimation/interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import decimate, interpolate, resample_power_of_two
+from repro.errors import ConfigurationError
+from repro.phy.lora import LoRaParams
+from repro.phy.lora.chirp import ideal_chirp
+from repro.phy.lora.demodulator import SymbolDemodulator
+
+
+class TestDecimate:
+    def test_factor_one_is_identity(self, rng):
+        x = rng.normal(size=100) + 0j
+        assert np.allclose(decimate(x, 1), x)
+
+    def test_output_length(self, rng):
+        x = rng.normal(size=1000) + 0j
+        assert decimate(x, 4).size == 250
+
+    def test_inband_tone_preserved(self):
+        n = np.arange(4096)
+        tone = np.exp(2j * np.pi * 0.02 * n)  # well inside fs/8
+        out = decimate(tone, 4)
+        steady = out[50:-50]
+        expected = np.exp(2j * np.pi * 0.08 * np.arange(out.size))[50:-50]
+        assert np.mean(np.abs(steady - expected) ** 2) < 0.01
+
+    def test_out_of_band_tone_suppressed(self):
+        n = np.arange(4096)
+        tone = np.exp(2j * np.pi * 0.35 * n)  # beyond fs/8: must alias-block
+        out = decimate(tone, 4)
+        assert np.mean(np.abs(out[50:-50]) ** 2) < 0.02
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(ConfigurationError):
+            decimate(np.ones(4, dtype=complex), 0)
+
+
+class TestInterpolate:
+    def test_factor_one_is_identity(self, rng):
+        x = rng.normal(size=100) + 0j
+        assert np.allclose(interpolate(x, 1), x)
+
+    def test_output_length(self, rng):
+        x = rng.normal(size=100) + 0j
+        assert interpolate(x, 4).size == 400
+
+    def test_unity_gain_for_dc(self):
+        out = interpolate(np.ones(200, dtype=complex), 2)
+        assert np.allclose(out[50:-50], 1.0, atol=0.02)
+
+    def test_decimate_inverts_interpolate(self, rng):
+        # Band-limit well inside the transition bands so the roundtrip
+        # is information-preserving.
+        x = decimate(rng.normal(size=1600) + 0j, 4)
+        roundtrip = decimate(interpolate(x, 2), 2)
+        signal_power = np.mean(np.abs(x[40:-40]) ** 2)
+        error = np.mean(np.abs(roundtrip[40:-40] - x[40:-40]) ** 2)
+        assert error < 0.05 * signal_power
+
+
+class TestResamplePowerOfTwo:
+    def test_up_then_down(self, rng):
+        x = decimate(rng.normal(size=512) + 0j, 2)  # band-limited
+        up = resample_power_of_two(x, 125e3, 500e3)
+        assert up.size == x.size * 4
+        down = resample_power_of_two(up, 500e3, 125e3)
+        assert down.size == x.size
+
+    def test_rejects_non_power_ratio(self):
+        with pytest.raises(ConfigurationError):
+            resample_power_of_two(np.ones(8, dtype=complex), 125e3, 375e3)
+
+    def test_decimated_wideband_chirp_still_demodulates(self):
+        # The concurrent receiver's secondary-branch path: a BW125 chirp
+        # sampled at 250 kHz, decimated to 125 kHz, demodulated with the
+        # critical-rate FFT.
+        params_os2 = LoRaParams(8, 125e3, oversampling=2)
+        params_os1 = LoRaParams(8, 125e3)
+        demod = SymbolDemodulator(params_os1)
+        for symbol in (0, 77, 200):
+            wide = ideal_chirp(params_os2, symbol)
+            narrow = resample_power_of_two(wide, 250e3, 125e3)
+            detected, _ = demod.demodulate_upchirp(narrow)
+            assert detected == symbol

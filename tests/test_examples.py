@@ -1,0 +1,56 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Slow examples (full sweeps/campaigns) are exercised with a generous
+timeout and only checked for a zero exit code.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "ble_beacon_broadcast.py",
+    "lorawan_end_to_end.py",
+    "fpga_design_explorer.py",
+    "battery_life_explorer.py",
+    "flowgraph_pipeline.py",
+    "backscatter_reader.py",
+    "localization_demo.py",
+    "mobile_node.py",
+]
+
+SLOW_EXAMPLES = [
+    "ota_testbed_campaign.py",
+    "concurrent_reception.py",
+    "lora_link_simulation.py",
+]
+
+
+def _run(name: str, timeout: int) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=timeout)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = _run(name, timeout=120)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    result = _run(name, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)

@@ -1,0 +1,148 @@
+"""Tests for the LoRa code chain: Gray, whitening, Hamming, interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError
+from repro.phy.lora import coding
+
+
+class TestGray:
+    def test_known_values(self):
+        assert coding.gray_encode(0) == 0
+        assert coding.gray_encode(1) == 1
+        assert coding.gray_encode(2) == 3
+        assert coding.gray_encode(3) == 2
+
+    def test_roundtrip(self):
+        for value in range(1024):
+            assert coding.gray_decode(coding.gray_encode(value)) == value
+
+    def test_adjacent_values_differ_in_one_bit(self):
+        for value in range(255):
+            a = coding.gray_encode(value)
+            b = coding.gray_encode(value + 1)
+            assert bin(a ^ b).count("1") == 1
+
+    def test_array_forms_match_scalar(self, rng):
+        values = rng.integers(0, 4096, 100)
+        encoded = coding.gray_encode_array(values)
+        assert all(int(e) == coding.gray_encode(int(v))
+                   for e, v in zip(encoded, values))
+        decoded = coding.gray_decode_array(encoded)
+        assert np.array_equal(decoded, values)
+
+    def test_rejects_negative(self):
+        with pytest.raises(CodingError):
+            coding.gray_encode(-1)
+        with pytest.raises(CodingError):
+            coding.gray_decode_array(np.array([-1]))
+
+
+class TestWhitening:
+    def test_involutive(self):
+        data = bytes(range(100))
+        assert coding.whiten(coding.whiten(data)) == data
+
+    def test_breaks_zero_runs(self):
+        whitened = coding.whiten(bytes(64))
+        assert len(set(whitened)) > 16
+
+    def test_sequence_deterministic(self):
+        assert coding.whitening_sequence(32) == coding.whitening_sequence(32)
+
+    def test_sequence_depends_on_seed(self):
+        assert coding.whitening_sequence(32, seed=0x1FF) != \
+            coding.whitening_sequence(32, seed=0x0A5)
+
+    def test_sequence_is_balanced(self):
+        sequence = coding.whitening_sequence(512)
+        ones = sum(bin(b).count("1") for b in sequence)
+        assert abs(ones - 2048) < 200
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(CodingError):
+            coding.whitening_sequence(10, seed=0)
+
+
+class TestHamming:
+    @pytest.mark.parametrize("cr", [5, 6, 7, 8])
+    def test_roundtrip_all_nibbles(self, cr):
+        for nibble in range(16):
+            codeword = coding.hamming_encode_nibble(nibble, cr)
+            decoded, error = coding.hamming_decode_nibble(codeword, cr)
+            assert decoded == nibble
+            assert not error
+
+    @pytest.mark.parametrize("cr", [7, 8])
+    def test_single_error_correction(self, cr):
+        for nibble in range(16):
+            codeword = coding.hamming_encode_nibble(nibble, cr)
+            for bit in range(cr):
+                corrupted = codeword ^ (1 << bit)
+                decoded, error = coding.hamming_decode_nibble(corrupted, cr)
+                assert error
+                assert decoded == nibble, (
+                    f"nibble {nibble} bit {bit} cr {cr}")
+
+    @pytest.mark.parametrize("cr", [5, 6])
+    def test_detection_only_modes_flag_errors(self, cr):
+        codeword = coding.hamming_encode_nibble(0xA, cr)
+        corrupted = codeword ^ (1 << 4)  # flip a parity bit
+        _, error = coding.hamming_decode_nibble(corrupted, cr)
+        assert error
+
+    def test_bytes_roundtrip(self):
+        data = bytes(range(64))
+        for cr in range(5, 9):
+            codewords = coding.hamming_encode(data, cr)
+            decoded, errors = coding.hamming_decode(codewords, cr)
+            assert decoded == data
+            assert errors == 0
+
+    def test_decode_rejects_odd_count(self):
+        with pytest.raises(CodingError):
+            coding.hamming_decode([0, 1, 2], 5)
+
+    def test_rejects_bad_nibble(self):
+        with pytest.raises(CodingError):
+            coding.hamming_encode_nibble(16, 5)
+
+    def test_rejects_bad_cr(self):
+        with pytest.raises(CodingError):
+            coding.hamming_encode_nibble(1, 4)
+
+    def test_rejects_oversized_codeword(self):
+        with pytest.raises(CodingError):
+            coding.hamming_decode_nibble(1 << 6, 5)
+
+
+class TestInterleaver:
+    @pytest.mark.parametrize("ppm,cr", [(8, 5), (8, 8), (6, 8), (10, 7),
+                                        (5, 8), (12, 5)])
+    def test_roundtrip(self, ppm, cr, rng):
+        codewords = [int(c) for c in rng.integers(0, 1 << cr, ppm)]
+        symbols = coding.interleave_block(codewords, ppm, cr)
+        assert len(symbols) == cr
+        assert all(0 <= s < (1 << ppm) for s in symbols)
+        recovered = coding.deinterleave_block(symbols, ppm, cr)
+        assert recovered == codewords
+
+    def test_symbol_error_spreads_across_codewords(self):
+        ppm, cr = 8, 5
+        codewords = [0] * ppm
+        symbols = coding.interleave_block(codewords, ppm, cr)
+        # Corrupt every bit of one symbol (one chirp detected wrong).
+        symbols[2] ^= 0xFF
+        damaged = coding.deinterleave_block(symbols, ppm, cr)
+        # Each codeword absorbs exactly one flipped bit - correctable.
+        flipped = [bin(c).count("1") for c in damaged]
+        assert all(f == 1 for f in flipped)
+
+    def test_interleave_rejects_wrong_count(self):
+        with pytest.raises(CodingError):
+            coding.interleave_block([0] * 7, 8, 5)
+
+    def test_deinterleave_rejects_wrong_count(self):
+        with pytest.raises(CodingError):
+            coding.deinterleave_block([0] * 4, 8, 5)

@@ -1,0 +1,112 @@
+"""Tests for regional channel plans and duty-cycle enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.phy.lora import LoRaParams
+from repro.protocols.lorawan.channels import (
+    ChannelHopper,
+    DutyCycleLedger,
+    eu868_plan,
+    us915_plan,
+)
+from repro.radio.at86rf215 import FREQUENCY_BANDS_HZ
+
+
+class TestPlans:
+    def test_eu868_mandatory_channels(self):
+        plan = eu868_plan()
+        assert len(plan.channels) == 3
+        assert plan.channels[0].frequency_hz == pytest.approx(868.1e6)
+        assert plan.duty_cycle_limit == 0.01
+
+    def test_us915_64_channels(self):
+        plan = us915_plan()
+        assert len(plan.channels) == 64
+        assert plan.channels[0].frequency_hz == pytest.approx(902.3e6)
+        assert plan.channels[63].frequency_hz == pytest.approx(914.9e6)
+        assert plan.dwell_time_limit_s == pytest.approx(0.4)
+
+    def test_all_channels_inside_tinysdr_bands(self):
+        low, high = FREQUENCY_BANDS_HZ[1]  # 779-1020 MHz
+        for plan in (eu868_plan(), us915_plan()):
+            for channel in plan.channels:
+                assert low <= channel.frequency_hz <= high, channel
+
+    def test_channel_lookup(self):
+        plan = us915_plan()
+        assert plan.channel(10).frequency_hz == pytest.approx(904.3e6)
+        with pytest.raises(ConfigurationError):
+            plan.channel(64)
+
+
+class TestHopper:
+    def test_never_repeats_immediately(self, rng):
+        hopper = ChannelHopper(us915_plan(), rng)
+        previous = hopper.next_channel().index
+        for _ in range(100):
+            current = hopper.next_channel().index
+            assert current != previous
+            previous = current
+
+    def test_covers_the_plan(self, rng):
+        hopper = ChannelHopper(eu868_plan(), rng)
+        seen = {hopper.next_channel().index for _ in range(60)}
+        assert seen == {0, 1, 2}
+
+
+class TestDutyCycle:
+    def test_one_percent_backoff(self):
+        plan = eu868_plan()
+        ledger = DutyCycleLedger(plan)
+        channel = plan.channels[0]
+        airtime = LoRaParams(8, 125e3).airtime_s(20)
+        assert ledger.can_transmit(channel, 0.0, airtime)
+        ledger.record_transmission(channel, 0.0, airtime)
+        # Immediately after: blocked for ~99x the airtime.
+        assert not ledger.can_transmit(channel, airtime + 0.01, airtime)
+        resume = ledger.next_allowed_s(channel, airtime)
+        assert resume == pytest.approx(airtime * 100.0, rel=0.01)
+        assert ledger.can_transmit(channel, resume, airtime)
+
+    def test_sub_band_is_shared_across_channels(self):
+        plan = eu868_plan()
+        ledger = DutyCycleLedger(plan)
+        airtime = 0.1
+        ledger.record_transmission(plan.channels[0], 0.0, airtime)
+        # All three mandatory channels share sub-band g1.
+        assert not ledger.can_transmit(plan.channels[2], 1.0, airtime)
+
+    def test_violation_raises(self):
+        plan = eu868_plan()
+        ledger = DutyCycleLedger(plan)
+        ledger.record_transmission(plan.channels[0], 0.0, 0.1)
+        with pytest.raises(ProtocolError):
+            ledger.record_transmission(plan.channels[0], 0.2, 0.1)
+
+    def test_us915_dwell_time(self):
+        plan = us915_plan()
+        ledger = DutyCycleLedger(plan)
+        channel = plan.channels[0]
+        # SF10/125 at 20 bytes exceeds 400 ms: not allowed in US915.
+        long_airtime = LoRaParams(10, 125e3).airtime_s(200)
+        assert long_airtime > 0.4
+        assert not ledger.can_transmit(channel, 0.0, long_airtime)
+        # A short packet is fine, with no duty-cycle backoff afterwards.
+        ledger.record_transmission(channel, 0.0, 0.2)
+        assert ledger.can_transmit(channel, 0.21, 0.2)
+
+    def test_sustained_rate(self):
+        ledger = DutyCycleLedger(eu868_plan())
+        airtime = LoRaParams(8, 125e3).airtime_s(20)
+        rate = ledger.max_message_rate_hz(airtime)
+        # ~0.01 / 0.103 s ~ one packet every ~10.3 s.
+        assert 1.0 / rate == pytest.approx(airtime * 100.0, rel=0.01)
+
+    def test_unlimited_plan_never_blocks(self):
+        ledger = DutyCycleLedger(us915_plan())
+        channel = us915_plan().channels[0]
+        for start in np.arange(0.0, 2.0, 0.25):
+            ledger.record_transmission(channel, float(start), 0.2)
+        assert ledger.max_message_rate_hz(0.2) == float("inf")

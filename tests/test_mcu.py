@@ -1,0 +1,160 @@
+"""Tests for the MCU model and the event scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryError_
+from repro.mcu import (
+    EventScheduler,
+    FLASH_BYTES,
+    McuMode,
+    MemoryBank,
+    Msp432,
+    SRAM_BYTES,
+    firmware_footprint_report,
+)
+
+
+class TestMemoryBank:
+    def test_allocate_and_release(self):
+        bank = MemoryBank("test", 1000)
+        bank.allocate("a", 600)
+        assert bank.free_bytes == 400
+        bank.release("a")
+        assert bank.free_bytes == 1000
+
+    def test_exhaustion_raises(self):
+        bank = MemoryBank("test", 1000)
+        bank.allocate("a", 900)
+        with pytest.raises(MemoryError_):
+            bank.allocate("b", 200)
+
+    def test_duplicate_name_raises(self):
+        bank = MemoryBank("test", 1000)
+        bank.allocate("a", 100)
+        with pytest.raises(MemoryError_):
+            bank.allocate("a", 100)
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(MemoryError_):
+            MemoryBank("test", 1000).release("ghost")
+
+    def test_utilization(self):
+        bank = MemoryBank("test", 1000)
+        bank.allocate("a", 250)
+        assert bank.utilization() == pytest.approx(0.25)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBank("test", 1000).allocate("a", 0)
+
+
+class TestMsp432:
+    def test_memory_sizes(self):
+        mcu = Msp432()
+        assert mcu.sram.capacity_bytes == SRAM_BYTES == 64 * 1024
+        assert mcu.flash.capacity_bytes == FLASH_BYTES == 256 * 1024
+
+    def test_ota_block_fits_sram_but_full_image_does_not(self):
+        mcu = Msp432()
+        mcu.sram.allocate("runtime", 20 * 1024)
+        mcu.sram.allocate("ota_block", 30 * 1024)  # the paper's block size
+        mcu.sram.release("ota_block")
+        with pytest.raises(MemoryError_):
+            mcu.sram.allocate("whole_bitstream", 579 * 1024)
+
+    def test_lpm3_power_below_3uw(self):
+        mcu = Msp432()
+        mcu.set_mode(McuMode.LPM3)
+        assert mcu.power_w() < 3e-6
+
+    def test_energy_integration(self):
+        mcu = Msp432()
+        mcu.set_mode(McuMode.LPM3)
+        mcu.run(1000.0)
+        lpm3_energy = mcu.energy_consumed_j()
+        mcu.set_mode(McuMode.ACTIVE)
+        mcu.run(1.0)
+        assert mcu.energy_consumed_j() - lpm3_energy > lpm3_energy
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Msp432().run(-1.0)
+
+    def test_paper_18_percent_footprint_claim(self):
+        # TTN MAC + radio/FPGA/PMU control + decompression ~ 18 % of the
+        # 256 kB flash (paper 5.2): model it as a 46 kB image.
+        mcu = Msp432()
+        mcu.flash.allocate("mac_and_control", 46 * 1024)
+        report = firmware_footprint_report(mcu)
+        assert report["flash_utilization"] == pytest.approx(0.18, abs=0.005)
+
+
+class TestScheduler:
+    def test_events_fire_in_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(2.0, "b", lambda s: order.append("b"))
+        scheduler.schedule_at(1.0, "a", lambda s: order.append("a"))
+        scheduler.schedule_at(3.0, "c", lambda s: order.append("c"))
+        scheduler.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_fifo(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule_at(1.0, "first", lambda s: order.append(1))
+        scheduler.schedule_at(1.0, "second", lambda s: order.append(2))
+        scheduler.run_until(2.0)
+        assert order == [1, 2]
+
+    def test_periodic_event(self):
+        scheduler = EventScheduler()
+        count = []
+        scheduler.schedule_every(1.0, "tick", lambda s: count.append(s.now_s))
+        scheduler.run_until(5.5)
+        assert count == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_run_until_stops_at_boundary(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(5.0, "late", lambda s: fired.append(1))
+        scheduler.run_until(4.0)
+        assert not fired
+        assert scheduler.pending() == 1
+        scheduler.run_until(5.0)
+        assert fired
+
+    def test_action_can_schedule_more(self):
+        scheduler = EventScheduler()
+        results = []
+
+        def chain(s):
+            results.append(s.now_s)
+            if len(results) < 3:
+                s.schedule_after(1.0, "chain", chain)
+
+        scheduler.schedule_at(0.5, "chain", chain)
+        scheduler.run_until(10.0)
+        assert results == [0.5, 1.5, 2.5]
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, "x", lambda s: None)
+        scheduler.run_until(2.0)
+        with pytest.raises(ConfigurationError):
+            scheduler.schedule_at(1.5, "past", lambda s: None)
+
+    def test_runaway_loop_detected(self):
+        scheduler = EventScheduler()
+
+        def rearm(s):
+            s.schedule_after(0.0, "loop", rearm)
+
+        scheduler.schedule_at(0.0, "loop", rearm)
+        with pytest.raises(ConfigurationError):
+            scheduler.run_until(1.0, max_events=100)
+
+    def test_now_advances_to_end(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(7.0)
+        assert scheduler.now_s == 7.0

@@ -1,0 +1,77 @@
+"""Tests for the AP-side campaign orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga import generate_bitstream
+from repro.ota.ap import (
+    AccessPoint,
+    LISTEN_PERIOD_S,
+    LISTEN_WINDOW_S,
+)
+from repro.testbed import campus_deployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return campus_deployment(max_radius_m=700.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return generate_bitstream(0.03, seed=43)
+
+
+class TestScheduling:
+    def test_wake_times_are_staggered(self, deployment, image):
+        ap = AccessPoint(deployment, image)
+        schedule = ap.schedule(estimated_session_s=60.0)
+        times = sorted(schedule.values())
+        assert len(times) == 20
+        assert all(b - a >= 60.0 for a, b in zip(times, times[1:]))
+
+    def test_wake_times_align_to_listen_windows(self, deployment, image):
+        ap = AccessPoint(deployment, image)
+        schedule = ap.schedule(estimated_session_s=60.0)
+        for wake in schedule.values():
+            if wake > LISTEN_WINDOW_S:
+                assert wake % LISTEN_PERIOD_S == pytest.approx(0.0)
+
+    def test_request_names_every_node(self, deployment, image):
+        ap = AccessPoint(deployment, image)
+        request = ap.build_request(ap.schedule(60.0))
+        assert len(request.device_ids) == 20
+        assert request.wire_bytes == 12 + 6 * 20
+
+    def test_empty_schedule_rejected(self, deployment, image):
+        with pytest.raises(ConfigurationError):
+            AccessPoint(deployment, image).build_request({})
+
+    def test_empty_image_rejected(self, deployment):
+        with pytest.raises(ConfigurationError):
+            AccessPoint(deployment, b"")
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def timeline(self, deployment, image):
+        ap = AccessPoint(deployment, image)
+        return ap.run_campaign(np.random.default_rng(9))
+
+    def test_every_node_gets_a_session(self, timeline):
+        assert len(timeline.sessions) == 20
+
+    def test_most_nodes_programmed(self, timeline):
+        assert timeline.success_count >= 19
+
+    def test_campaign_time_accumulates_sessions(self, timeline):
+        session_time = sum(s.report.total_time_s
+                           for s in timeline.sessions if s.report)
+        assert timeline.total_time_s >= session_time
+
+    def test_attempts_bounded(self, timeline):
+        assert all(1 <= s.attempts <= 3 for s in timeline.sessions)
+
+    def test_request_airtime_positive(self, timeline):
+        assert 0 < timeline.request_time_s < 1.0

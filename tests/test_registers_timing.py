@@ -1,0 +1,151 @@
+"""Tests for the radio register interface and LoRaWAN Class A timing."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError, RadioError
+from repro.phy.lora import LoRaParams
+from repro.protocols.lorawan.timing import (
+    RX1_DELAY_S,
+    RX2_PARAMS,
+    check_platform_meets_windows,
+    class_a_windows,
+    confirmed_uplink_exchange,
+)
+from repro.radio.at86rf215 import RadioState
+from repro.radio.registers import (
+    At86Rf215Driver,
+    CMD_RX,
+    CMD_SLEEP,
+    CMD_TRXOFF,
+    CMD_TX,
+    REG_CMD,
+    REG_PAC,
+    REG_STATE,
+    SpiTransaction,
+)
+
+
+class TestSpiTransactions:
+    def test_wire_roundtrip_write(self):
+        transaction = SpiTransaction(address=0x0114, value=0x1F,
+                                     is_write=True)
+        decoded = SpiTransaction.from_wire(transaction.to_wire())
+        assert decoded.address == 0x0114
+        assert decoded.value == 0x1F
+        assert decoded.is_write
+
+    def test_read_flag_encoding(self):
+        wire = SpiTransaction(0x0102, 0, is_write=False).to_wire()
+        assert not (wire[0] & 0x80)
+
+    def test_rejects_wide_address(self):
+        with pytest.raises(ConfigurationError):
+            SpiTransaction(0x4000, 0, True).to_wire()
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            SpiTransaction.from_wire(b"\x00\x00")
+
+
+class TestRegisterDriver:
+    def test_command_sequence_drives_state_machine(self):
+        driver = At86Rf215Driver()
+        assert driver.state() == RadioState.SLEEP
+        driver.command(CMD_TRXOFF)
+        assert driver.state() == RadioState.TRXOFF
+        driver.command(CMD_RX)
+        assert driver.state() == RadioState.RX
+        driver.command(CMD_TX)
+        assert driver.state() == RadioState.TX
+        driver.command(CMD_SLEEP)
+        assert driver.state() == RadioState.SLEEP
+
+    def test_channel_programming_sequence(self):
+        driver = At86Rf215Driver()
+        driver.command(CMD_TRXOFF)
+        driver.set_channel(915_000_000)
+        assert driver.radio.frequency_hz == pytest.approx(915e6)
+        # Four register writes in the datasheet's order preceded latch.
+        writes = [t for t in driver.registers.log if t.is_write]
+        addresses = [t.address for t in writes[-4:]]
+        assert addresses == [0x0105, 0x0106, 0x0107, 0x0108]
+
+    def test_channel_rejects_out_of_band(self):
+        driver = At86Rf215Driver()
+        driver.command(CMD_TRXOFF)
+        with pytest.raises(RadioError):
+            driver.set_channel(1_500_000_000)
+
+    def test_pac_power_programming(self):
+        driver = At86Rf215Driver()
+        driver.set_tx_power(0.0)
+        assert driver.radio.tx_power_dbm == pytest.approx(0.0)
+        assert driver.registers.read(REG_PAC) == 14  # 14 dB attenuation
+
+    def test_pac_range_enforced(self):
+        driver = At86Rf215Driver()
+        with pytest.raises(ConfigurationError):
+            driver.set_tx_power(-20.0)
+
+    def test_unmapped_register_rejected(self):
+        driver = At86Rf215Driver()
+        with pytest.raises(RadioError):
+            driver.registers.write(0x3FFF, 0)
+        with pytest.raises(RadioError):
+            driver.registers.read(0x3FFF)
+
+    def test_wire_log_replays(self):
+        driver = At86Rf215Driver()
+        driver.command(CMD_TRXOFF)
+        driver.set_tx_power(10.0)
+        wire = driver.wire_log()
+        assert all(len(frame) == 3 for frame in wire)
+        decoded = [SpiTransaction.from_wire(f) for f in wire]
+        assert decoded[0].address == REG_CMD
+        assert decoded[-1].address == REG_PAC
+
+    def test_state_register_tracks_radio(self):
+        driver = At86Rf215Driver()
+        driver.command(CMD_TRXOFF)
+        assert driver.registers.read(REG_STATE) == 0x2
+
+
+class TestClassAWindows:
+    def test_window_schedule(self):
+        uplink = LoRaParams(8, 125e3)
+        rx1, rx2 = class_a_windows(uplink)
+        assert rx1.opens_at_s == RX1_DELAY_S
+        assert rx1.params.spreading_factor == 8
+        assert rx2.params == RX2_PARAMS
+
+    def test_rx1_offset_slows_downlink(self):
+        rx1, _ = class_a_windows(LoRaParams(8, 125e3), rx1_offset=2)
+        assert rx1.params.spreading_factor == 10
+
+    def test_offset_capped_at_sf12(self):
+        rx1, _ = class_a_windows(LoRaParams(10, 125e3), rx1_offset=5)
+        assert rx1.params.spreading_factor == 12
+
+    def test_offset_range_enforced(self):
+        with pytest.raises(ConfigurationError):
+            class_a_windows(LoRaParams(8, 125e3), rx1_offset=6)
+
+    def test_platform_makes_both_windows_easily(self):
+        for feasibility in check_platform_meets_windows(
+                LoRaParams(8, 125e3)):
+            assert feasibility.feasible
+            # 45 us turnaround against a 1 s window: enormous margin.
+            assert feasibility.margin_s > 0.99
+
+    def test_confirmed_exchange_timeline(self):
+        timeline = confirmed_uplink_exchange(
+            LoRaParams(8, 125e3), uplink_bytes=20, downlink_bytes=12)
+        assert timeline["radio_listening_s"] < timeline["rx1_opens_s"]
+        assert timeline["ack_ends_s"] > timeline["rx1_opens_s"]
+        assert timeline["turnaround_margin_s"] > 0.99
+
+    def test_slow_network_pushed_to_rx2(self):
+        with pytest.raises(ProtocolError):
+            confirmed_uplink_exchange(
+                LoRaParams(8, 125e3), uplink_bytes=20, downlink_bytes=12,
+                network_processing_s=1.5)
