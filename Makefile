@@ -1,0 +1,23 @@
+# Entry points for the tier-1 verification and the hot-path perf gate.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-hotpath bench-check bench-paper
+
+# Tier-1: the full unit/integration/property suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Regenerate BENCH_hotpath.json at the repo root.
+bench-hotpath:
+	$(PYTHON) benchmarks/bench_hotpath_throughput.py
+
+# Fail (exit nonzero) on >30% fast-path throughput regression vs the
+# committed BENCH_hotpath.json baseline.
+bench-check:
+	$(PYTHON) benchmarks/check_regression.py
+
+# The paper's tables/figures (pytest-benchmark suite).
+bench-paper:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,262 @@
+"""Hot-path throughput harness: vectorized engine vs scalar references.
+
+Times every sample/bit-level substrate the Fig. 6 pipelines run on — the
+32-bit I/Q word codec, the LVDS DDR round-trip, the deserializer's
+alignment search, chirp generation, the radix-2 FFT, and the end-to-end
+LoRa mod -> channel -> demod chain — in items/second, for both the
+vectorized fast paths and the retained ``*_reference`` scalar
+implementations.  The report is written to ``BENCH_hotpath.json`` at the
+repository root so the perf trajectory is tracked across PRs
+(``benchmarks/check_regression.py`` compares a fresh run against the
+committed baseline).
+
+Run standalone::
+
+    python benchmarks/bench_hotpath_throughput.py
+
+or via ``make bench-hotpath``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import platform
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.channel.awgn import awgn
+from repro.perf import cache
+from repro.perf.timing import ThroughputReport, measure_throughput
+from repro.phy.lora import LoRaDemodulator, LoRaModulator, LoRaParams
+from repro.phy.lora.chirp import chirp_train, ideal_chirp_reference
+from repro.phy.lora.demodulator import SymbolDemodulator
+from repro.dsp.fft import Radix2Fft
+from repro.radio import iqword, lvds
+
+BENCH_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+CODEC_SAMPLES = 65_536
+LVDS_WORDS = 4_096
+RESYNC_WORDS = 64
+RESYNC_SEARCHES = 50
+CHIRP_SYMBOLS = 256
+FFT_ROWS = 256
+E2E_PAYLOAD = b"tinysdr hot-path benchmark payload!"
+E2E_MODEMS = 4
+
+FAST_REPEATS = 5
+REFERENCE_REPEATS = 2
+
+
+def _bench_codec(report: ThroughputReport,
+                 rng: np.random.Generator) -> None:
+    """I/Q word pack/unpack throughput (vectorized vs per-word scalar)."""
+    samples = (rng.uniform(-0.9, 0.9, CODEC_SAMPLES)
+               + 1j * rng.uniform(-0.9, 0.9, CODEC_SAMPLES))
+    words = iqword.samples_to_words(samples)
+    report.add("iqword_pack", "fast", measure_throughput(
+        "iqword_pack.fast", lambda: iqword.samples_to_words(samples),
+        CODEC_SAMPLES, repeats=FAST_REPEATS))
+    report.add("iqword_pack", "reference", measure_throughput(
+        "iqword_pack.reference",
+        lambda: iqword.samples_to_words_reference(samples),
+        CODEC_SAMPLES, repeats=REFERENCE_REPEATS))
+    report.add("iqword_unpack", "fast", measure_throughput(
+        "iqword_unpack.fast", lambda: iqword.words_to_samples(words),
+        CODEC_SAMPLES, repeats=FAST_REPEATS))
+    report.add("iqword_unpack", "reference", measure_throughput(
+        "iqword_unpack.reference",
+        lambda: iqword.words_to_samples_reference(words),
+        CODEC_SAMPLES, repeats=REFERENCE_REPEATS))
+
+
+def _bench_lvds(report: ThroughputReport,
+                rng: np.random.Generator) -> None:
+    """DDR serialize + deserialize round-trip throughput."""
+    samples = (rng.uniform(-0.9, 0.9, LVDS_WORDS)
+               + 1j * rng.uniform(-0.9, 0.9, LVDS_WORDS))
+    words = iqword.samples_to_words(samples)
+
+    def roundtrip_fast() -> np.ndarray:
+        rising, falling = lvds.serialize_words(words)
+        return lvds.deserialize_words(rising, falling)
+
+    def roundtrip_reference() -> np.ndarray:
+        rising, falling = lvds.serialize_words_reference(words)
+        return lvds.deserialize_words_reference(rising, falling)
+
+    report.add("lvds_roundtrip", "fast", measure_throughput(
+        "lvds_roundtrip.fast", roundtrip_fast, LVDS_WORDS, unit="words",
+        repeats=FAST_REPEATS))
+    report.add("lvds_roundtrip", "reference", measure_throughput(
+        "lvds_roundtrip.reference", roundtrip_reference, LVDS_WORDS,
+        unit="words", repeats=REFERENCE_REPEATS))
+
+
+def _bench_resync(report: ThroughputReport,
+                  rng: np.random.Generator) -> None:
+    """Cold-start word-alignment search throughput."""
+    samples = (rng.uniform(-0.9, 0.9, RESYNC_WORDS)
+               + 1j * rng.uniform(-0.9, 0.9, RESYNC_WORDS))
+    bits = iqword.words_to_bits(iqword.samples_to_words(samples))
+    prefix = rng.integers(0, 2, 17).astype(np.uint8)
+    stream = np.concatenate([prefix, bits])
+    items = stream.size * RESYNC_SEARCHES
+
+    def search_fast() -> None:
+        for _ in range(RESYNC_SEARCHES):
+            iqword.find_word_alignment(stream)
+
+    def search_reference() -> None:
+        for _ in range(RESYNC_SEARCHES):
+            iqword.find_word_alignment_reference(stream)
+
+    report.add("resync", "fast", measure_throughput(
+        "resync.fast", search_fast, items, unit="bits",
+        repeats=FAST_REPEATS))
+    report.add("resync", "reference", measure_throughput(
+        "resync.reference", search_reference, items, unit="bits",
+        repeats=REFERENCE_REPEATS))
+
+
+def _bench_chirp(report: ThroughputReport,
+                 rng: np.random.Generator) -> None:
+    """Chirp train generation: plan-cached cyclic shift vs direct exp."""
+    params = LoRaParams(8, 125e3)
+    values = rng.integers(0, params.chips_per_symbol, CHIRP_SYMBOLS)
+    items = CHIRP_SYMBOLS * params.samples_per_symbol
+    chirp_train(params, values)  # populate the plan cache
+
+    def train_reference() -> np.ndarray:
+        return np.concatenate([
+            ideal_chirp_reference(params, int(v)) for v in values])
+
+    report.add("chirp_generation", "fast", measure_throughput(
+        "chirp_generation.fast", lambda: chirp_train(params, values),
+        items, repeats=FAST_REPEATS))
+    report.add("chirp_generation", "reference", measure_throughput(
+        "chirp_generation.reference", train_reference, items,
+        repeats=REFERENCE_REPEATS))
+
+
+def _bench_fft(report: ThroughputReport,
+               rng: np.random.Generator) -> None:
+    """Radix-2 FFT: batched symbol matrix vs one transform per call."""
+    length = 256
+    core = Radix2Fft(length)
+    matrix = (rng.normal(size=(FFT_ROWS, length))
+              + 1j * rng.normal(size=(FFT_ROWS, length)))
+    items = FFT_ROWS * length
+
+    def fft_reference() -> None:
+        for row in matrix:
+            core.forward(row)
+
+    report.add("fft", "fast", measure_throughput(
+        "fft.fast", lambda: core.forward_block(matrix), items,
+        repeats=FAST_REPEATS))
+    report.add("fft", "reference", measure_throughput(
+        "fft.reference", fft_reference, items,
+        repeats=REFERENCE_REPEATS))
+
+
+def _bench_lora_end_to_end(report: ThroughputReport,
+                           rng: np.random.Generator) -> dict[str, int]:
+    """Full LoRa mod -> AWGN -> demod chain, multiple modems per config.
+
+    Building ``E2E_MODEMS`` modulator/demodulator pairs with identical
+    ``LoRaParams`` is exactly the testbed-sweep construction pattern the
+    plan cache exists for; the returned stats must show nonzero hits.
+    """
+    params = LoRaParams(7, 125e3)
+    cache.clear()
+    modems = [(LoRaModulator(params), LoRaDemodulator(params))
+              for _ in range(E2E_MODEMS)]
+    clean = modems[0][0].modulate(E2E_PAYLOAD)
+    noisy = awgn(clean, snr_db=20.0, rng=rng)
+    items = noisy.size
+
+    def run_chain() -> None:
+        modulator, demodulator = modems[0]
+        waveform = modulator.modulate(E2E_PAYLOAD)
+        decoded = demodulator.receive(
+            np.concatenate([np.zeros(64, dtype=np.complex128), noisy]))
+        if decoded.payload != E2E_PAYLOAD or waveform.size != clean.size:
+            raise AssertionError("end-to-end chain decoded wrong payload")
+
+    report.add("lora_end_to_end", "fast", measure_throughput(
+        "lora_end_to_end.fast", run_chain, items, repeats=5))
+    stats = cache.stats()
+    return {"hits": stats.hits, "misses": stats.misses,
+            "entries": stats.entries, "evictions": stats.evictions}
+
+
+def _bench_symbol_demod(report: ThroughputReport,
+                        rng: np.random.Generator) -> None:
+    """Aligned symbol-stream demodulation: batched vs symbol-per-call."""
+    params = LoRaParams(8, 125e3)
+    demod = SymbolDemodulator(params)
+    num_symbols = 128
+    values = rng.integers(0, params.chips_per_symbol, num_symbols)
+    stream = awgn(chirp_train(params, values), snr_db=10.0, rng=rng)
+    items = stream.size
+
+    report.add("symbol_demod", "fast", measure_throughput(
+        "symbol_demod.fast",
+        lambda: demod.demodulate_stream(stream, num_symbols),
+        items, repeats=FAST_REPEATS))
+    report.add("symbol_demod", "reference", measure_throughput(
+        "symbol_demod.reference",
+        lambda: demod.demodulate_stream_reference(stream, num_symbols),
+        items, repeats=REFERENCE_REPEATS))
+
+
+def collect_report(seed: int = 2020) -> ThroughputReport:
+    """Run every hot-path benchmark and return the populated report."""
+    rng = np.random.default_rng(seed)
+    report = ThroughputReport()
+    _bench_codec(report, rng)
+    _bench_lvds(report, rng)
+    _bench_resync(report, rng)
+    _bench_chirp(report, rng)
+    _bench_fft(report, rng)
+    _bench_symbol_demod(report, rng)
+    plan_cache_stats = _bench_lora_end_to_end(report, rng)
+    report.metadata = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "seed": seed,
+        "plan_cache": plan_cache_stats,
+    }
+    return report
+
+
+def main() -> int:
+    """Run the harness, print a summary and write ``BENCH_hotpath.json``."""
+    report = collect_report()
+    print(f"{'benchmark':<20} {'fast (items/s)':>16} "
+          f"{'reference (items/s)':>20} {'speedup':>9}")
+    for group in sorted(report.results):
+        variants = report.results[group]
+        fast = variants.get("fast")
+        reference = variants.get("reference")
+        ratio = report.speedup(group)
+        print(f"{group:<20} "
+              f"{fast.items_per_second if fast else 0:>16.3e} "
+              f"{reference.items_per_second if reference else 0:>20.3e} "
+              f"{f'{ratio:.1f}x' if ratio else '-':>9}")
+    plan_cache_stats = report.metadata["plan_cache"]
+    print(f"plan cache during end-to-end run: {plan_cache_stats}")
+    path = report.write_json(BENCH_PATH)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ import math
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.perf.cache import get_or_build
 
 
 def is_power_of_two(n: int) -> bool:
@@ -52,8 +53,13 @@ class Radix2Fft:
                 f"FFT length must be a power of two, got {length}")
         self.length = length
         self._stages = length.bit_length() - 1
-        self._permutation = bit_reverse_indices(length)
-        self._twiddles = np.exp(-2j * np.pi * np.arange(length // 2) / length)
+        # The bit-reverse permutation and twiddle table are the FFT
+        # "plan"; every instance of the same length shares one frozen
+        # copy through the plan cache instead of recomputing it.
+        self._permutation, self._twiddles = get_or_build(
+            ("fft_plan", length),
+            lambda: (bit_reverse_indices(length),
+                     np.exp(-2j * np.pi * np.arange(length // 2) / length)))
 
     def forward(self, samples: np.ndarray) -> np.ndarray:
         """Compute the forward DFT of ``samples``.
@@ -77,6 +83,38 @@ class Radix2Fft:
             odd = blocks[:, half:] * twiddle
             blocks[:, :half] = even + odd
             blocks[:, half:] = even - odd
+            half = span
+        return data
+
+    def forward_block(self, blocks: np.ndarray) -> np.ndarray:
+        """Compute the forward DFT of each row of a ``(count, length)`` matrix.
+
+        Runs the same butterfly schedule as :meth:`forward` across all
+        rows at once, so each row's result is bit-exact with a
+        per-row :meth:`forward` call while amortizing the Python-level
+        stage loop over the whole batch (the LoRa demodulator feeds one
+        row per received symbol).
+
+        Raises:
+            ConfigurationError: if the input is not a 2-D array with
+                rows of the configured transform size.
+        """
+        blocks = np.asarray(blocks, dtype=np.complex128)
+        if blocks.ndim != 2 or blocks.shape[1] != self.length:
+            raise ConfigurationError(
+                f"expected a (count, {self.length}) matrix, got shape "
+                f"{blocks.shape}")
+        data = blocks[:, self._permutation].copy()
+        half = 1
+        for _ in range(self._stages):
+            span = half * 2
+            stride = self.length // span
+            twiddle = self._twiddles[::stride][:half]
+            shaped = data.reshape(data.shape[0], -1, span)
+            even = shaped[:, :, :half].copy()
+            odd = shaped[:, :, half:] * twiddle
+            shaped[:, :, :half] = even + odd
+            shaped[:, :, half:] = even - odd
             half = span
         return data
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.perf.cache import get_or_build
 
 
 @dataclass(frozen=True)
@@ -61,11 +62,19 @@ class Nco:
         self._phase_modulus = 1 << self.config.phase_bits
         self._table_size = 1 << self.config.table_address_bits
         self._address_shift = self.config.phase_bits - self.config.table_address_bits
+        # Sin/cos LUTs depend only on the config; all oscillators with
+        # the same quantization share one frozen pair via the plan cache.
+        self._cos_table, self._sin_table = get_or_build(
+            ("nco_tables", self.config), self._build_tables)
+        self._phase = 0
+
+    def _build_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Quantized sin/cos lookup tables for this configuration."""
         angles = 2.0 * np.pi * np.arange(self._table_size) / self._table_size
         scale = (1 << (self.config.amplitude_bits - 1)) - 1
-        self._cos_table = np.round(np.cos(angles) * scale) / scale
-        self._sin_table = np.round(np.sin(angles) * scale) / scale
-        self._phase = 0
+        cos_table = np.round(np.cos(angles) * scale) / scale
+        sin_table = np.round(np.sin(angles) * scale) / scale
+        return cos_table, sin_table
 
     @property
     def phase(self) -> int:

@@ -1,0 +1,135 @@
+"""Throughput timing for the hot-path benchmark harness.
+
+The north star is a pipeline that runs as fast as the hardware allows,
+so speed has to be a measured quantity, not an assumption.  These
+helpers time a callable processing a known number of items (samples,
+words, symbols) and report items/second, taking the best of several
+repeats to suppress scheduler noise the way micro-benchmarks should.
+:class:`ThroughputReport` aggregates results into the ``BENCH_hotpath``
+JSON document that tracks the perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """One timed hot-path measurement.
+
+    Attributes:
+        name: benchmark identifier (e.g. ``"iqword_pack.fast"``).
+        items: number of items processed per call.
+        unit: what an item is (``"samples"``, ``"words"``, ...).
+        best_seconds: fastest wall-clock time over all repeats.
+        repeats: timed repetitions taken.
+    """
+
+    name: str
+    items: int
+    unit: str
+    best_seconds: float
+    repeats: int
+
+    @property
+    def items_per_second(self) -> float:
+        """Throughput of the best repeat."""
+        if self.best_seconds <= 0.0:
+            return float("inf")
+        return self.items / self.best_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "items": self.items,
+            "unit": self.unit,
+            "best_seconds": self.best_seconds,
+            "repeats": self.repeats,
+            "items_per_second": self.items_per_second,
+        }
+
+
+def measure_throughput(name: str, func: Callable[[], Any], items: int,
+                       unit: str = "samples", repeats: int = 5,
+                       warmup: int = 1) -> ThroughputResult:
+    """Time ``func`` and return its throughput in ``items``/second.
+
+    Args:
+        name: benchmark identifier recorded in the result.
+        func: zero-argument callable doing the work being measured.
+        items: items processed by one call (for the rate computation).
+        unit: item label recorded in the result.
+        repeats: timed repetitions; the best (minimum) is reported.
+        warmup: untimed calls first (fills caches, triggers lazy init).
+
+    Raises:
+        ConfigurationError: for non-positive ``items`` or ``repeats``.
+    """
+    if items < 1:
+        raise ConfigurationError(f"items must be >= 1, got {items}")
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        func()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return ThroughputResult(name=name, items=items, unit=unit,
+                            best_seconds=best, repeats=repeats)
+
+
+@dataclass
+class ThroughputReport:
+    """Collection of paired fast/reference measurements plus metadata.
+
+    Results are grouped by benchmark name; a group holding both a
+    ``fast`` and a ``reference`` variant also reports their speedup.
+    """
+
+    results: dict[str, dict[str, ThroughputResult]] = field(
+        default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def add(self, group: str, variant: str,
+            result: ThroughputResult) -> None:
+        """Record a measurement under ``group``/``variant``."""
+        self.results.setdefault(group, {})[variant] = result
+
+    def speedup(self, group: str) -> float | None:
+        """``fast`` over ``reference`` throughput ratio, if both exist."""
+        variants = self.results.get(group, {})
+        fast = variants.get("fast")
+        reference = variants.get("reference")
+        if fast is None or reference is None:
+            return None
+        if reference.items_per_second == 0.0:
+            return float("inf")
+        return fast.items_per_second / reference.items_per_second
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable document for ``BENCH_hotpath.json``."""
+        groups: dict[str, Any] = {}
+        for group, variants in self.results.items():
+            groups[group] = {variant: result.to_dict()
+                             for variant, result in variants.items()}
+            ratio = self.speedup(group)
+            if ratio is not None:
+                groups[group]["speedup"] = ratio
+        return {"results": groups, "metadata": self.metadata}
+
+    def write_json(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the report to ``path`` and return it."""
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n")
+        return path

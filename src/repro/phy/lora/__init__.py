@@ -10,6 +10,7 @@ from repro.phy.lora.chirp import (
     QuantizedChirpGenerator,
     chirp_train,
     ideal_chirp,
+    ideal_chirp_reference,
     ideal_downchirp,
     partial_downchirps,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "common_sample_rate",
     "crc16_ccitt",
     "ideal_chirp",
+    "ideal_chirp_reference",
     "ideal_downchirp",
     "partial_downchirps",
     "sync_symbols_for_word",

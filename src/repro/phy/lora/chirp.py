@@ -7,6 +7,17 @@ phase accumulator and two lookup tables for Sin and Cos"; the
 :class:`QuantizedChirpGenerator` reproduces that structure via
 :class:`repro.dsp.nco.Nco`, so the digital-domain non-orthogonality the
 paper measures in Fig. 15a is present in the waveforms.
+
+Chirp tables are expensive (one ``exp`` per sample) and identical for
+every modem built with the same :class:`LoRaParams`, so the base chirp of
+each configuration is memoized in :mod:`repro.perf.cache` and symbol
+``s`` is derived as a cyclic shift by ``s * oversampling`` samples — a
+bit-exact identity, because the oversampling factor is a power of two
+and all chip positions are dyadic rationals, which makes the shifted
+phase computation produce the identical float sequence.  The original
+direct computation is retained as :func:`ideal_chirp_reference` (and
+:meth:`QuantizedChirpGenerator.chirp_reference`) and the property tests
+assert exact equality.
 """
 
 from __future__ import annotations
@@ -15,28 +26,14 @@ import numpy as np
 
 from repro.dsp.nco import Nco, NcoConfig
 from repro.errors import ConfigurationError
+from repro.perf.cache import get_or_build
 from repro.phy.lora.params import LoRaParams
 
 
-def ideal_chirp(params: LoRaParams, symbol: int = 0,
-                downchirp: bool = False) -> np.ndarray:
-    """Generate one floating-point chirp symbol.
-
-    Args:
-        params: LoRa configuration (SF, BW, oversampling).
-        symbol: cyclic shift in chips, ``0 <= symbol < 2**SF``.
-        downchirp: generate the conjugate (falling-frequency) chirp.
-
-    Returns:
-        ``params.samples_per_symbol`` unit-amplitude complex samples.
-
-    Raises:
-        ConfigurationError: if ``symbol`` is out of range.
-    """
+def _chirp_cycles(params: LoRaParams, symbol: int,
+                  downchirp: bool) -> np.ndarray:
+    """Phase of a shifted chirp in cycles, one entry per output sample."""
     n_chips = params.chips_per_symbol
-    if not 0 <= symbol < n_chips:
-        raise ConfigurationError(
-            f"symbol must be 0..{n_chips - 1}, got {symbol}")
     os = params.oversampling
     total = params.samples_per_symbol
     # Work in units of chips: sample k sits at chip position k/os.  The
@@ -51,12 +48,84 @@ def ideal_chirp(params: LoRaParams, symbol: int = 0,
     cycles = shifted ** 2 / (2.0 * n_chips) - shifted / 2.0
     if downchirp:
         cycles = -cycles
-    return np.exp(2j * np.pi * cycles)
+    return cycles
+
+
+def _check_symbol(params: LoRaParams, symbol: int) -> None:
+    """Validate a symbol value against the configuration's alphabet."""
+    n_chips = params.chips_per_symbol
+    if not 0 <= symbol < n_chips:
+        raise ConfigurationError(
+            f"symbol must be 0..{n_chips - 1}, got {symbol}")
+
+
+def _base_ideal_chirp(params: LoRaParams, downchirp: bool) -> np.ndarray:
+    """Cached, frozen symbol-0 ideal chirp for one configuration."""
+    return get_or_build(
+        ("ideal_chirp", params, downchirp),
+        lambda: np.exp(2j * np.pi * _chirp_cycles(params, 0, downchirp)))
+
+
+def _shift_samples(base: np.ndarray, symbol: int,
+                   oversampling: int) -> np.ndarray:
+    """Cyclic shift deriving symbol ``s`` from the base chirp (copies)."""
+    return np.roll(base, -symbol * oversampling)
+
+
+def ideal_chirp(params: LoRaParams, symbol: int = 0,
+                downchirp: bool = False) -> np.ndarray:
+    """Generate one floating-point chirp symbol.
+
+    Args:
+        params: LoRa configuration (SF, BW, oversampling).
+        symbol: cyclic shift in chips, ``0 <= symbol < 2**SF``.
+        downchirp: generate the conjugate (falling-frequency) chirp.
+
+    Returns:
+        ``params.samples_per_symbol`` unit-amplitude complex samples
+        (a fresh writable array; the underlying base chirp is cached).
+
+    Raises:
+        ConfigurationError: if ``symbol`` is out of range.
+    """
+    _check_symbol(params, symbol)
+    base = _base_ideal_chirp(params, downchirp)
+    return _shift_samples(base, symbol, params.oversampling)
+
+
+def ideal_chirp_reference(params: LoRaParams, symbol: int = 0,
+                          downchirp: bool = False) -> np.ndarray:
+    """Direct (uncached) computation of :func:`ideal_chirp`.
+
+    Retained as the parity reference for the cached cyclic-shift fast
+    path, and used by the throughput harness as the "cold" baseline.
+    """
+    _check_symbol(params, symbol)
+    return np.exp(2j * np.pi * _chirp_cycles(params, symbol, downchirp))
 
 
 def ideal_downchirp(params: LoRaParams) -> np.ndarray:
     """The base downchirp used for dechirping and the SFD."""
     return ideal_chirp(params, symbol=0, downchirp=True)
+
+
+def _check_symbols(params: LoRaParams, values: np.ndarray) -> None:
+    """Validate an array of symbol values against the alphabet."""
+    n_chips = params.chips_per_symbol
+    bad = (values < 0) | (values >= n_chips)
+    if bad.any():
+        offender = int(values[np.argmax(bad)])
+        raise ConfigurationError(
+            f"symbol must be 0..{n_chips - 1}, got {offender}")
+
+
+def _symbol_matrix(base: np.ndarray, values: np.ndarray,
+                   oversampling: int) -> np.ndarray:
+    """Gather a (num_symbols, samples_per_symbol) matrix of shifted chirps."""
+    total = base.size
+    indices = (np.arange(total, dtype=np.int64)[None, :]
+               + (values * oversampling)[:, None]) % total
+    return base[indices]
 
 
 class QuantizedChirpGenerator:
@@ -67,6 +136,9 @@ class QuantizedChirpGenerator:
     lookup tables of ``2**table_address_bits`` entries at
     ``amplitude_bits`` resolution.  These defaults mirror a resource-
     conscious ECP5 implementation.
+
+    Like the ideal generator, the symbol-0 quantized chirp is plan-cached
+    per ``(params, nco_config)`` and other symbols are cyclic shifts.
     """
 
     def __init__(self, params: LoRaParams,
@@ -76,38 +148,49 @@ class QuantizedChirpGenerator:
             phase_bits=32, table_address_bits=10, amplitude_bits=13))
         self._phase_modulus = 1 << self.nco.config.phase_bits
 
+    def _quantized_cycles_to_samples(self, cycles: np.ndarray) -> np.ndarray:
+        """Quantize a cycle sequence to the accumulator grid and look up."""
+        phases = np.round(np.mod(cycles, 1.0) * self._phase_modulus
+                          ).astype(np.int64)
+        return self.nco.from_phase_sequence(phases)
+
+    def _base_chirp(self, downchirp: bool) -> np.ndarray:
+        """Cached, frozen symbol-0 quantized chirp."""
+        return get_or_build(
+            ("quantized_chirp", self.params, self.nco.config, downchirp),
+            lambda: self._quantized_cycles_to_samples(
+                _chirp_cycles(self.params, 0, downchirp)))
+
     def chirp(self, symbol: int = 0, downchirp: bool = False) -> np.ndarray:
         """Generate one quantized chirp symbol.
 
         Raises:
             ConfigurationError: if ``symbol`` is out of range.
         """
-        n_chips = self.params.chips_per_symbol
-        if not 0 <= symbol < n_chips:
-            raise ConfigurationError(
-                f"symbol must be 0..{n_chips - 1}, got {symbol}")
-        os = self.params.oversampling
-        total = self.params.samples_per_symbol
-        k = np.arange(total, dtype=np.float64)
-        chip = k / os
-        shifted = np.mod(chip + symbol, n_chips)
-        cycles = shifted ** 2 / (2.0 * n_chips) - shifted / 2.0
-        if downchirp:
-            cycles = -cycles
-        phases = np.round(np.mod(cycles, 1.0) * self._phase_modulus
-                          ).astype(np.int64)
-        return self.nco.from_phase_sequence(phases)
+        _check_symbol(self.params, symbol)
+        base = self._base_chirp(downchirp)
+        return _shift_samples(base, symbol, self.params.oversampling)
+
+    def chirp_reference(self, symbol: int = 0,
+                        downchirp: bool = False) -> np.ndarray:
+        """Direct (uncached) computation of :meth:`chirp` for parity tests."""
+        _check_symbol(self.params, symbol)
+        return self._quantized_cycles_to_samples(
+            _chirp_cycles(self.params, symbol, downchirp))
 
     def downchirp(self) -> np.ndarray:
         """Quantized base downchirp."""
         return self.chirp(0, downchirp=True)
 
     def symbols(self, values: np.ndarray) -> np.ndarray:
-        """Concatenate quantized chirps for a symbol sequence."""
+        """Concatenate quantized chirps for a symbol sequence (vectorized)."""
         values = np.asarray(values, dtype=np.int64)
         if values.size == 0:
             return np.zeros(0, dtype=np.complex128)
-        return np.concatenate([self.chirp(int(v)) for v in values])
+        _check_symbols(self.params, values)
+        base = self._base_chirp(downchirp=False)
+        return _symbol_matrix(base, values,
+                              self.params.oversampling).reshape(-1)
 
 
 def chirp_train(params: LoRaParams, symbols: np.ndarray,
@@ -118,7 +201,9 @@ def chirp_train(params: LoRaParams, symbols: np.ndarray,
         return QuantizedChirpGenerator(params).symbols(symbols)
     if symbols.size == 0:
         return np.zeros(0, dtype=np.complex128)
-    return np.concatenate([ideal_chirp(params, int(s)) for s in symbols])
+    _check_symbols(params, symbols)
+    base = _base_ideal_chirp(params, downchirp=False)
+    return _symbol_matrix(base, symbols, params.oversampling).reshape(-1)
 
 
 def partial_downchirps(params: LoRaParams, count: float = 2.25,

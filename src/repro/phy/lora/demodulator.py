@@ -21,6 +21,7 @@ import numpy as np
 from repro.dsp.fft import Radix2Fft
 from repro.dsp.filters import design_lowpass, filter_block
 from repro.errors import DemodulationError
+from repro.perf.cache import get_or_build
 from repro.phy.lora.chirp import ideal_chirp
 from repro.phy.lora.codec import DecodedPayload, LoRaCodec
 from repro.phy.lora.packet import (
@@ -56,8 +57,14 @@ class SymbolDemodulator:
 
     def __init__(self, params: LoRaParams) -> None:
         self.params = params
-        self._downchirp = np.conj(ideal_chirp(params, 0))
-        self._upchirp = ideal_chirp(params, 0)
+        # The conjugate dechirp reference and base upchirp are shared
+        # through the plan cache: every modem built for the same params
+        # (testbed sweeps build one per node per config) reuses one
+        # frozen table instead of regenerating it.
+        self._downchirp = get_or_build(
+            ("lora_dechirp", params), lambda: np.conj(ideal_chirp(params, 0)))
+        self._upchirp = get_or_build(
+            ("lora_upchirp_ref", params), lambda: ideal_chirp(params, 0))
         self._fft = Radix2Fft(params.samples_per_symbol)
 
     @property
@@ -126,14 +133,69 @@ class SymbolDemodulator:
         bin_index = int(np.argmax(mags))
         return bin_index, float(mags[bin_index])
 
+    def _folded_magnitudes_block(self, dechirped: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_folded_magnitudes` over a symbol matrix."""
+        spectra = np.abs(self._fft.forward_block(dechirped))
+        n = self.params.chips_per_symbol
+        os = self.params.oversampling
+        if os == 1:
+            return spectra
+        folded = spectra[:, :n].copy()
+        folded += spectra[:, (os - 1) * n:(os - 1) * n + n]
+        return folded
+
+    def demodulate_upchirp_block(self, windows: np.ndarray
+                                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched upchirp demodulation of a ``(count, sym)`` window matrix.
+
+        Dechirps and FFTs every row at once; each row's decision is
+        bit-exact with :meth:`demodulate_upchirp` on that window.
+
+        Returns:
+            ``(bins, magnitudes)`` arrays of length ``count``.
+
+        Raises:
+            DemodulationError: if the matrix width is not one symbol.
+        """
+        windows = np.asarray(windows, dtype=np.complex128)
+        if windows.ndim != 2 or \
+                windows.shape[1] != self.params.samples_per_symbol:
+            raise DemodulationError(
+                f"expected a (count, {self.params.samples_per_symbol}) "
+                f"window matrix, got shape {windows.shape}")
+        mags = self._folded_magnitudes_block(windows * self._downchirp)
+        bins = np.argmax(mags, axis=1)
+        return bins.astype(np.int64), mags[np.arange(mags.shape[0]), bins]
+
     def demodulate_stream(self, samples: np.ndarray,
                           num_symbols: int,
                           start: int = 0) -> np.ndarray:
         """Demodulate ``num_symbols`` aligned upchirp symbols from a stream.
 
+        Batched fast path: the stream is viewed as a symbol matrix and
+        dechirp + FFT run over all symbols at once.  Results are
+        bit-exact with :meth:`demodulate_stream_reference`.
+
         Raises:
             DemodulationError: if the stream is too short.
         """
+        sym = self.params.samples_per_symbol
+        end = start + num_symbols * sym
+        samples = np.asarray(samples, dtype=np.complex128)
+        if end > samples.size:
+            raise DemodulationError(
+                f"stream of {samples.size} samples cannot hold {num_symbols} "
+                f"symbols from offset {start}")
+        if num_symbols == 0:
+            return np.empty(0, dtype=np.int64)
+        windows = samples[start:end].reshape(num_symbols, sym)
+        values, _ = self.demodulate_upchirp_block(windows)
+        return values
+
+    def demodulate_stream_reference(self, samples: np.ndarray,
+                                    num_symbols: int,
+                                    start: int = 0) -> np.ndarray:
+        """One-symbol-per-call reference for :meth:`demodulate_stream`."""
         sym = self.params.samples_per_symbol
         end = start + num_symbols * sym
         samples = np.asarray(samples, dtype=np.complex128)
@@ -225,19 +287,27 @@ class PacketSynchronizer:
         run_start = 0
         run_length = 0
         previous_bin = -1
-        for w in range(num_windows):
-            start = search_start + w * sym
-            bin_index, _ = self.symbol_demod.demodulate_upchirp(
-                samples[start:start + sym])
-            delta = (bin_index - previous_bin) % n
-            if previous_bin >= 0 and (delta <= 1 or delta == n - 1):
-                run_length += 1
-            else:
-                run_start = w
-                run_length = 1
-            previous_bin = bin_index
-            if run_length >= MIN_PREAMBLE_RUN:
-                return (search_start // sym + run_start, bin_index)
+        # Windows are demodulated in batched chunks (dechirp + FFT over
+        # a whole matrix); the run bookkeeping below stays scalar so the
+        # scan can stop at the first qualifying run.
+        chunk_windows = 64
+        for chunk_start in range(0, num_windows, chunk_windows):
+            count = min(chunk_windows, num_windows - chunk_start)
+            begin = search_start + chunk_start * sym
+            windows = samples[begin:begin + count * sym].reshape(count, sym)
+            bins, _ = self.symbol_demod.demodulate_upchirp_block(windows)
+            for local, bin_index in enumerate(bins):
+                w = chunk_start + local
+                bin_index = int(bin_index)
+                delta = (bin_index - previous_bin) % n
+                if previous_bin >= 0 and (delta <= 1 or delta == n - 1):
+                    run_length += 1
+                else:
+                    run_start = w
+                    run_length = 1
+                previous_bin = bin_index
+                if run_length >= MIN_PREAMBLE_RUN:
+                    return (search_start // sym + run_start, bin_index)
         raise DemodulationError("no LoRa preamble found in stream")
 
     def _find_sfd(self, samples: np.ndarray,
@@ -297,9 +367,12 @@ class LoRaDemodulator:
             use_fir = params.oversampling > 1
         self._fir_taps = None
         if use_fir:
-            self._fir_taps = design_lowpass(
-                FIR_TAPS, cutoff_hz=params.bandwidth_hz / 2.0 * 1.1,
-                sample_rate_hz=params.sample_rate_hz)
+            cutoff_hz = params.bandwidth_hz / 2.0 * 1.1
+            self._fir_taps = get_or_build(
+                ("fir_lowpass", FIR_TAPS, cutoff_hz, params.sample_rate_hz),
+                lambda: design_lowpass(
+                    FIR_TAPS, cutoff_hz=cutoff_hz,
+                    sample_rate_hz=params.sample_rate_hz))
 
     def frontend(self, samples: np.ndarray) -> np.ndarray:
         """Apply the receive FIR (identity when disabled)."""

@@ -9,6 +9,12 @@ boundaries and loads the I and Q fields into 13-bit registers.
 This module is the bit-exact codec for that format: samples -> words ->
 bit stream and back, including the alignment search a cold-started
 deserializer performs.
+
+Two implementations coexist.  The public entry points are vectorized
+(whole-array shift-and-mask bit-plane operations, ``np.packbits`` /
+``np.unpackbits`` for serialization); the original per-word, per-bit
+scalar code is retained as ``*_reference`` functions, and the property
+tests assert the fast paths are bit-exact against them.
 """
 
 from __future__ import annotations
@@ -32,6 +38,19 @@ WORD_RATE_HZ = 4_000_000
 BIT_RATE_BPS = WORD_BITS * WORD_RATE_HZ
 """128 Mbps serial rate, carried by a 64 MHz DDR clock."""
 
+_FIELD_MASK = (1 << SAMPLE_BITS) - 1
+_CODE_MIN = -(1 << (SAMPLE_BITS - 1))
+_CODE_MAX = (1 << (SAMPLE_BITS - 1)) - 1
+
+# Bit positions (LSB-based shifts) of each field in the 32-bit word,
+# MSB transmitted first: [I_SYNC:2][I:13][ctrl:1][Q_SYNC:2][Q:13][ctrl:1].
+_Q_CONTROL_SHIFT = 0
+_Q_FIELD_SHIFT = 1
+_Q_SYNC_SHIFT = 1 + SAMPLE_BITS
+_I_CONTROL_SHIFT = 1 + SAMPLE_BITS + SYNC_BITS
+_I_FIELD_SHIFT = 2 + SAMPLE_BITS + SYNC_BITS
+_I_SYNC_SHIFT = 2 + 2 * SAMPLE_BITS + SYNC_BITS
+
 
 @dataclass(frozen=True)
 class IqWord:
@@ -52,10 +71,10 @@ class IqWord:
 
 def _field_to_unsigned(code: int) -> int:
     """Two's-complement 13-bit encoding of a signed sample code."""
-    if not -(1 << (SAMPLE_BITS - 1)) <= code < (1 << (SAMPLE_BITS - 1)):
+    if not _CODE_MIN <= code <= _CODE_MAX:
         raise FramingError(
             f"sample code {code} does not fit in {SAMPLE_BITS} signed bits")
-    return code & ((1 << SAMPLE_BITS) - 1)
+    return code & _FIELD_MASK
 
 
 def _field_to_signed(value: int) -> int:
@@ -89,11 +108,11 @@ def unpack_word(value: int) -> IqWord:
     if not 0 <= value < (1 << WORD_BITS):
         raise FramingError(f"word {value:#x} does not fit in 32 bits")
     q_control = value & 1
-    q_field = (value >> 1) & ((1 << SAMPLE_BITS) - 1)
-    q_sync = (value >> (1 + SAMPLE_BITS)) & 0b11
-    i_control = (value >> (1 + SAMPLE_BITS + SYNC_BITS)) & 1
-    i_field = (value >> (2 + SAMPLE_BITS + SYNC_BITS)) & ((1 << SAMPLE_BITS) - 1)
-    i_sync = (value >> (2 + 2 * SAMPLE_BITS + SYNC_BITS)) & 0b11
+    q_field = (value >> _Q_FIELD_SHIFT) & _FIELD_MASK
+    q_sync = (value >> _Q_SYNC_SHIFT) & 0b11
+    i_control = (value >> _I_CONTROL_SHIFT) & 1
+    i_field = (value >> _I_FIELD_SHIFT) & _FIELD_MASK
+    i_sync = (value >> _I_SYNC_SHIFT) & 0b11
     if i_sync != I_SYNC or q_sync != Q_SYNC:
         raise FramingError(
             f"sync patterns {i_sync:#04b}/{q_sync:#04b} do not match "
@@ -103,9 +122,88 @@ def unpack_word(value: int) -> IqWord:
                   i_control=i_control, q_control=q_control)
 
 
+# -- vectorized word codec ----------------------------------------------------
+
+def pack_codes(i_codes: np.ndarray, q_codes: np.ndarray,
+               i_controls: np.ndarray | int = 0,
+               q_controls: np.ndarray | int = 0) -> np.ndarray:
+    """Pack arrays of signed 13-bit codes into 32-bit words (vectorized).
+
+    Raises:
+        FramingError: if any code does not fit in 13 signed bits.
+    """
+    i_codes = np.asarray(i_codes, dtype=np.int64)
+    q_codes = np.asarray(q_codes, dtype=np.int64)
+    for name, codes in (("I", i_codes), ("Q", q_codes)):
+        bad = (codes < _CODE_MIN) | (codes > _CODE_MAX)
+        if bad.any():
+            offender = int(codes[np.argmax(bad)])
+            raise FramingError(
+                f"{name} sample code {offender} does not fit in "
+                f"{SAMPLE_BITS} signed bits")
+    i_controls = np.asarray(i_controls, dtype=np.int64) & 1
+    q_controls = np.asarray(q_controls, dtype=np.int64) & 1
+    words = np.full(i_codes.shape, I_SYNC << _I_SYNC_SHIFT, dtype=np.uint64)
+    words |= ((i_codes & _FIELD_MASK) << _I_FIELD_SHIFT).astype(np.uint64)
+    words |= (i_controls << _I_CONTROL_SHIFT).astype(np.uint64)
+    words |= np.uint64(Q_SYNC << _Q_SYNC_SHIFT)
+    words |= ((q_codes & _FIELD_MASK) << _Q_FIELD_SHIFT).astype(np.uint64)
+    words |= q_controls.astype(np.uint64)
+    return words
+
+
+def unpack_codes(words: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Unpack 32-bit words into code/control arrays (vectorized).
+
+    Returns:
+        ``(i_codes, q_codes, i_controls, q_controls)`` as ``int64``.
+
+    Raises:
+        FramingError: if any word exceeds 32 bits or has corrupted sync
+            patterns.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    oversize = words >> np.uint64(WORD_BITS)
+    if oversize.any():
+        offender = int(words[np.argmax(oversize != 0)])
+        raise FramingError(f"word {offender:#x} does not fit in 32 bits")
+    i_sync = (words >> np.uint64(_I_SYNC_SHIFT)) & np.uint64(0b11)
+    q_sync = (words >> np.uint64(_Q_SYNC_SHIFT)) & np.uint64(0b11)
+    bad = (i_sync != I_SYNC) | (q_sync != Q_SYNC)
+    if bad.any():
+        index = int(np.argmax(bad))
+        raise FramingError(
+            f"sync patterns {int(i_sync[index]):#04b}/"
+            f"{int(q_sync[index]):#04b} do not match "
+            f"{I_SYNC:#04b}/{Q_SYNC:#04b}")
+    i_fields = ((words >> np.uint64(_I_FIELD_SHIFT))
+                & np.uint64(_FIELD_MASK)).astype(np.int64)
+    q_fields = ((words >> np.uint64(_Q_FIELD_SHIFT))
+                & np.uint64(_FIELD_MASK)).astype(np.int64)
+    sign = 1 << (SAMPLE_BITS - 1)
+    i_codes = np.where(i_fields >= sign, i_fields - (1 << SAMPLE_BITS),
+                       i_fields)
+    q_codes = np.where(q_fields >= sign, q_fields - (1 << SAMPLE_BITS),
+                       q_fields)
+    i_controls = ((words >> np.uint64(_I_CONTROL_SHIFT))
+                  & np.uint64(1)).astype(np.int64)
+    q_controls = (words & np.uint64(1)).astype(np.int64)
+    return i_codes, q_codes, i_controls, q_controls
+
+
 def samples_to_words(samples: np.ndarray,
                      full_scale: float = 1.0) -> np.ndarray:
     """Quantize complex samples to 13 bits and pack them into 32-bit words."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    i_codes = to_codes(samples.real, SAMPLE_BITS, full_scale)
+    q_codes = to_codes(samples.imag, SAMPLE_BITS, full_scale)
+    return pack_codes(i_codes, q_codes)
+
+
+def samples_to_words_reference(samples: np.ndarray,
+                               full_scale: float = 1.0) -> np.ndarray:
+    """Scalar per-word reference implementation of :func:`samples_to_words`."""
     samples = np.asarray(samples, dtype=np.complex128)
     i_codes = to_codes(samples.real, SAMPLE_BITS, full_scale)
     q_codes = to_codes(samples.imag, SAMPLE_BITS, full_scale)
@@ -122,6 +220,14 @@ def words_to_samples(words: np.ndarray,
     Raises:
         FramingError: on any word with corrupted sync patterns.
     """
+    i_codes, q_codes, _, _ = unpack_codes(words)
+    return (from_codes(i_codes, SAMPLE_BITS, full_scale)
+            + 1j * from_codes(q_codes, SAMPLE_BITS, full_scale))
+
+
+def words_to_samples_reference(words: np.ndarray,
+                               full_scale: float = 1.0) -> np.ndarray:
+    """Scalar per-word reference implementation of :func:`words_to_samples`."""
     words = np.asarray(words, dtype=np.uint64)
     i_codes = np.empty(words.size, dtype=np.int64)
     q_codes = np.empty(words.size, dtype=np.int64)
@@ -133,8 +239,22 @@ def words_to_samples(words: np.ndarray,
             + 1j * from_codes(q_codes, SAMPLE_BITS, full_scale))
 
 
+# -- vectorized bit-stream serialization -------------------------------------
+
 def words_to_bits(words: np.ndarray) -> np.ndarray:
-    """Serialize packed words into the on-wire bit stream (MSB first)."""
+    """Serialize packed words into the on-wire bit stream (MSB first).
+
+    Vectorized: each word is viewed as four big-endian bytes and expanded
+    with ``np.unpackbits``, which yields exactly the MSB-first order the
+    LVDS lane transmits.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    big_endian = words.astype(">u4")
+    return np.unpackbits(big_endian.view(np.uint8))
+
+
+def words_to_bits_reference(words: np.ndarray) -> np.ndarray:
+    """Scalar per-bit reference implementation of :func:`words_to_bits`."""
     words = np.asarray(words, dtype=np.uint64)
     bits = np.empty(words.size * WORD_BITS, dtype=np.uint8)
     for index, value in enumerate(words):
@@ -144,7 +264,26 @@ def words_to_bits(words: np.ndarray) -> np.ndarray:
 
 
 def bits_to_words(bits: np.ndarray, offset: int = 0) -> np.ndarray:
-    """Pack an aligned bit stream back into 32-bit words from ``offset``."""
+    """Pack an aligned bit stream back into 32-bit words from ``offset``.
+
+    Vectorized: the usable bits are packed into bytes with
+    ``np.packbits`` and re-viewed as big-endian 32-bit words.
+
+    Raises:
+        FramingError: if fewer than one whole word remains after
+            ``offset``.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    usable = (bits.size - offset) // WORD_BITS
+    if usable <= 0:
+        raise FramingError("bit stream shorter than one word")
+    trimmed = bits[offset:offset + usable * WORD_BITS]
+    packed = np.packbits(trimmed)
+    return packed.view(">u4").astype(np.uint64)
+
+
+def bits_to_words_reference(bits: np.ndarray, offset: int = 0) -> np.ndarray:
+    """Scalar per-bit reference implementation of :func:`bits_to_words`."""
     bits = np.asarray(bits, dtype=np.uint8)
     usable = (bits.size - offset) // WORD_BITS
     if usable <= 0:
@@ -159,6 +298,15 @@ def bits_to_words(bits: np.ndarray, offset: int = 0) -> np.ndarray:
     return words
 
 
+# -- alignment search ---------------------------------------------------------
+
+def _sync_valid(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of words whose I_SYNC and Q_SYNC patterns are intact."""
+    i_sync = (values >> np.uint64(_I_SYNC_SHIFT)) & np.uint64(0b11)
+    q_sync = (values >> np.uint64(_Q_SYNC_SHIFT)) & np.uint64(0b11)
+    return (i_sync == I_SYNC) & (q_sync == Q_SYNC)
+
+
 def find_word_alignment(bits: np.ndarray, required_words: int = 4) -> int:
     """Locate the word boundary in an unaligned serial bit stream.
 
@@ -166,12 +314,42 @@ def find_word_alignment(bits: np.ndarray, required_words: int = 4) -> int:
     window until ``required_words`` consecutive words decode with valid
     I_SYNC and Q_SYNC patterns.
 
+    Vectorized: the candidate word value at every bit position is built
+    from a sliding bit-plane view in one pass, sync validity is checked
+    for all positions at once, and each candidate offset's score is the
+    AND of its ``required_words`` word positions.
+
     Returns:
         The bit offset of the first full word.
 
     Raises:
         FramingError: if no consistent alignment exists in the stream.
     """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size < WORD_BITS * required_words:
+        raise FramingError(
+            f"need at least {WORD_BITS * required_words} bits to align, "
+            f"got {bits.size}")
+    num_offsets = min(WORD_BITS, bits.size - WORD_BITS * required_words + 1)
+    span = num_offsets - 1 + WORD_BITS * required_words
+    windows = np.lib.stride_tricks.sliding_window_view(
+        bits[:span], WORD_BITS).astype(np.uint64)
+    weights = (np.uint64(1) << np.arange(WORD_BITS - 1, -1, -1,
+                                         dtype=np.uint64))
+    values = windows @ weights
+    valid = _sync_valid(values)
+    positions = (np.arange(num_offsets)[:, None]
+                 + WORD_BITS * np.arange(required_words)[None, :])
+    aligned = valid[positions].all(axis=1)
+    hits = np.flatnonzero(aligned)
+    if hits.size:
+        return int(hits[0])
+    raise FramingError("no valid word alignment found in bit stream")
+
+
+def find_word_alignment_reference(bits: np.ndarray,
+                                  required_words: int = 4) -> int:
+    """Scalar nested-loop reference for :func:`find_word_alignment`."""
     bits = np.asarray(bits, dtype=np.uint8)
     if bits.size < WORD_BITS * required_words:
         raise FramingError(

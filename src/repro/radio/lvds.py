@@ -14,7 +14,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, FramingError
-from repro.radio.iqword import BIT_RATE_BPS, WORD_BITS, WORD_RATE_HZ
+from repro.radio.iqword import (
+    BIT_RATE_BPS,
+    WORD_BITS,
+    WORD_RATE_HZ,
+    bits_to_words,
+    bits_to_words_reference,
+    words_to_bits,
+    words_to_bits_reference,
+)
 
 LVDS_CLOCK_HZ = 64_000_000
 """Clock provided by the radio (RX) or FPGA PLL (TX)."""
@@ -83,6 +91,72 @@ def ddr_merge(rising: np.ndarray, falling: np.ndarray) -> np.ndarray:
     merged[0::2] = rising
     merged[1::2] = falling
     return merged
+
+
+def serialize_words(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Serialize 32-bit words onto the DDR edge lanes (vectorized).
+
+    One call models the whole TX side of the link: word -> MSB-first bit
+    stream -> rising/falling lane split, done with ``np.unpackbits`` and
+    a reshape/transpose instead of per-bit loops.
+
+    Returns:
+        ``(rising, falling)`` lane bit arrays, each ``16 * len(words)``
+        bits long.
+    """
+    bits = words_to_bits(words)
+    lanes = bits.reshape(-1, 2)
+    return lanes[:, 0].copy(), lanes[:, 1].copy()
+
+
+def serialize_words_reference(words: np.ndarray
+                              ) -> tuple[np.ndarray, np.ndarray]:
+    """Scalar per-bit reference implementation of :func:`serialize_words`."""
+    bits = words_to_bits_reference(words)
+    rising = np.empty(bits.size // 2, dtype=np.uint8)
+    falling = np.empty(bits.size // 2, dtype=np.uint8)
+    for index in range(bits.size // 2):
+        rising[index] = bits[2 * index]
+        falling[index] = bits[2 * index + 1]
+    return rising, falling
+
+
+def deserialize_words(rising: np.ndarray, falling: np.ndarray,
+                      offset: int = 0) -> np.ndarray:
+    """Recover 32-bit words from the DDR edge lanes (vectorized).
+
+    The RX side of the link: interleave the lanes back into the serial
+    stream and repack whole words starting at bit ``offset`` (the result
+    of the deserializer's alignment search).
+
+    Raises:
+        FramingError: on mismatched lane lengths or a stream shorter
+            than one word after ``offset``.
+    """
+    rising = np.asarray(rising, dtype=np.uint8)
+    falling = np.asarray(falling, dtype=np.uint8)
+    if rising.size != falling.size:
+        raise FramingError(
+            f"edge lanes must match in length: {rising.size} vs {falling.size}")
+    merged = np.empty(rising.size * 2, dtype=np.uint8)
+    merged[0::2] = rising
+    merged[1::2] = falling
+    return bits_to_words(merged, offset)
+
+
+def deserialize_words_reference(rising: np.ndarray, falling: np.ndarray,
+                                offset: int = 0) -> np.ndarray:
+    """Scalar per-bit reference implementation of :func:`deserialize_words`."""
+    rising = np.asarray(rising, dtype=np.uint8)
+    falling = np.asarray(falling, dtype=np.uint8)
+    if rising.size != falling.size:
+        raise FramingError(
+            f"edge lanes must match in length: {rising.size} vs {falling.size}")
+    merged = np.empty(rising.size * 2, dtype=np.uint8)
+    for index in range(rising.size):
+        merged[2 * index] = rising[index]
+        merged[2 * index + 1] = falling[index]
+    return bits_to_words_reference(merged, offset)
 
 
 def inject_bit_errors(bits: np.ndarray, error_rate: float,
