@@ -3,11 +3,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-hotpath bench-check bench-paper
+.PHONY: test lint check bench-hotpath bench-check bench-paper
 
 # Tier-1: the full unit/integration/property suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# reprolint: the domain-aware static analyzer over src/ with the
+# committed baseline (see [tool.reprolint] in pyproject.toml).
+lint:
+	$(PYTHON) -m repro.analysis src
+
+# Full gate: static analysis plus the perf-regression check, as CI
+# would run them.
+check: lint bench-check
 
 # Regenerate BENCH_hotpath.json at the repo root.
 bench-hotpath:

@@ -1,0 +1,67 @@
+"""``repro.analysis`` — domain-aware static analysis ("reprolint").
+
+The reproduction's core claim is that every FPGA/MCU algorithm is
+modeled *bit-exactly*.  That property rests on a handful of structural
+invariants (explicit RNG threading, frozen plan-cache arrays, tested
+``*_reference`` parity twins, explicit masks in quantized arithmetic,
+named physical constants with datasheet provenance).  This package
+machine-checks them:
+
+* :mod:`repro.analysis.engine` — AST rule engine with a registry,
+  per-finding rule IDs / locations / fix-it hints and inline
+  ``# reprolint: disable=...`` suppressions.
+* :mod:`repro.analysis.rules` — the seven domain rules
+  (REPRO001..REPRO007).
+* :mod:`repro.analysis.baseline` — checked-in grandfathering of
+  pre-existing findings.
+* :mod:`repro.analysis.sanitize` — runtime sanitizer activated by
+  ``REPRO_SANITIZE=1``.
+* :mod:`repro.analysis.cli` — the ``python -m repro.analysis`` /
+  ``make lint`` entry point.
+"""
+
+from repro.analysis.baseline import (
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.config import LintConfig, default_config, load_config
+from repro.analysis.engine import (
+    FileContext,
+    FileRule,
+    Finding,
+    Project,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register,
+    run_analysis,
+)
+from repro.analysis.sanitize import (
+    SanitizerError,
+    assert_frozen,
+    install_from_env,
+)
+
+__all__ = [
+    "BaselineResult",
+    "FileContext",
+    "FileRule",
+    "Finding",
+    "LintConfig",
+    "Project",
+    "ProjectRule",
+    "Rule",
+    "SanitizerError",
+    "all_rules",
+    "apply_baseline",
+    "assert_frozen",
+    "default_config",
+    "install_from_env",
+    "load_baseline",
+    "load_config",
+    "register",
+    "run_analysis",
+    "write_baseline",
+]

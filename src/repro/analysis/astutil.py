@@ -1,0 +1,89 @@
+"""Small AST helpers shared by the reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted module/object they bind.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from numpy import random as nr`` yields ``{"nr": "numpy.random"}``;
+    ``from numpy.random import default_rng`` yields
+    ``{"default_rng": "numpy.random.default_rng"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render a ``Name``/``Attribute`` chain as ``a.b.c`` (else ``None``)."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def canonical_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Like :func:`dotted_name`, with the head resolved through imports.
+
+    ``np.random.normal`` with ``{"np": "numpy"}`` becomes
+    ``numpy.random.normal``.
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved = aliases.get(head)
+    if resolved is None:
+        return dotted
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+def is_numeric_literal(node: ast.AST) -> bool:
+    """True for an int/float ``Constant`` (excluding bools)."""
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))
+
+
+def numeric_literals(node: ast.AST) -> Iterator[ast.Constant]:
+    """Yield every numeric literal in ``node``'s subtree."""
+    for child in ast.walk(node):
+        if is_numeric_literal(child):
+            yield child
+
+
+def assigned_names(target: ast.AST) -> Iterator[str]:
+    """Yield plain names bound by an assignment target (tuples included)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from assigned_names(element)
+
+
+def function_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield every function/method definition node in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,101 @@
+"""Baseline file support: grandfathering known findings.
+
+A baseline is a checked-in JSON inventory of accepted findings.  Each
+entry is a line-number-insensitive fingerprint ``(rule, path, message)``
+with a count, so pure line drift (an unrelated edit above a grandfathered
+finding) never breaks the gate, while *new* findings — or more instances
+of an old one — always do.
+
+The intended workflow: ``python -m repro.analysis src --write-baseline``
+to accept the current state, commit the file, then burn entries down to
+zero over subsequent PRs.  An empty baseline (the repo's steady state)
+means every rule is fully enforced.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.engine import Finding
+from repro.errors import ConfigurationError
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of filtering findings through a baseline.
+
+    Attributes:
+        new: findings not covered by the baseline (these fail the gate).
+        baselined: findings absorbed by baseline entries.
+        stale: fingerprints present in the baseline but no longer
+            observed — candidates for deletion from the file.
+    """
+
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[tuple[str, str, str]]
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Serialize ``findings`` as a baseline file at ``path``."""
+    counts = Counter(finding.fingerprint() for finding in findings)
+    entries = [
+        {"rule": rule, "path": relpath, "message": message, "count": count}
+        for (rule, relpath, message), count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into a fingerprint -> count mapping.
+
+    A missing file is an empty baseline.
+
+    Raises:
+        ConfigurationError: on malformed JSON or a wrong schema version.
+    """
+    if not path.is_file():
+        return Counter()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {exc}")
+    if payload.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported version {payload.get('version')!r}")
+    counts: Counter = Counter()
+    for entry in payload.get("findings", []):
+        try:
+            fingerprint = (entry["rule"], entry["path"], entry["message"])
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"baseline {path} has a malformed entry {entry!r}: {exc}")
+        counts[fingerprint] += count
+    return counts
+
+
+def apply_baseline(findings: list[Finding], baseline: Counter) -> BaselineResult:
+    """Split findings into new vs baselined against ``baseline``.
+
+    Findings matching a fingerprint are absorbed up to the recorded
+    count (lowest line numbers first, for deterministic reporting).
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    absorbed: list[Finding] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col)):
+        fingerprint = finding.fingerprint()
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            absorbed.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(fp for fp, count in remaining.items() if count > 0)
+    return BaselineResult(new=new, baselined=absorbed, stale=stale)

@@ -1,0 +1,101 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 when every finding is absorbed by the baseline and 1
+otherwise, so the command slots directly into ``make lint`` and CI
+gates.  ``--write-baseline`` accepts the current findings wholesale —
+the grandfathering half of the baseline workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import reporting
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import all_rules, run_analysis
+from repro.errors import ReproError
+
+
+def find_root(start: Path) -> Path:
+    """Walk up from ``start`` to the directory holding pyproject.toml."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start.resolve() if start.is_dir() else start.resolve().parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("reprolint: domain-aware static analysis for the "
+                     "tinySDR reproduction's bit-exactness invariants"))
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="project root (default: nearest pyproject.toml)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file (default: from [tool.reprolint])")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline; report everything")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept current findings into the baseline")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule IDs to run exclusively")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule IDs to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def _split_ids(text: str) -> frozenset[str]:
+    return frozenset(part.strip().upper()
+                     for part in text.split(",") if part.strip())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, cls in sorted(all_rules().items()):
+            print(f"{rule_id}  {cls.name:<22} {cls.description}")
+        return 0
+    targets = [Path(p) for p in args.paths]
+    root = args.root if args.root is not None else find_root(targets[0])
+    try:
+        config = load_config(root)
+        if args.select:
+            config = LintConfig(**{**config.__dict__,
+                                   "select": _split_ids(args.select)})
+        if args.ignore:
+            config = LintConfig(**{**config.__dict__,
+                                   "ignore": config.ignore
+                                   | _split_ids(args.ignore)})
+        findings = run_analysis(root, targets, config)
+        baseline_path = (args.baseline if args.baseline is not None
+                         else root / config.baseline_path)
+        if args.write_baseline:
+            baseline_mod.write_baseline(baseline_path, findings)
+            print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+            return 0
+        if args.no_baseline:
+            known = baseline_mod.Counter()
+        else:
+            known = baseline_mod.load_baseline(baseline_path)
+        result = baseline_mod.apply_baseline(findings, known)
+    except (ReproError, SyntaxError, OSError) as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(reporting.render_json(result))
+    else:
+        print(reporting.render_text(result))
+    return 1 if result.new else 0

@@ -1,0 +1,54 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.baseline import BaselineResult
+from repro.analysis.engine import Finding
+
+
+def render_text(result: BaselineResult) -> str:
+    """Compiler-style one-line-per-finding report with a summary tail."""
+    lines = [finding.render() for finding in result.new]
+    summary = (f"{len(result.new)} finding(s), "
+               f"{len(result.baselined)} baselined")
+    if result.stale:
+        summary += f", {len(result.stale)} stale baseline entr(y/ies)"
+    if result.new:
+        by_rule = Counter(finding.rule_id for finding in result.new)
+        breakdown = ", ".join(f"{rule}={count}"
+                              for rule, count in sorted(by_rule.items()))
+        summary += f" [{breakdown}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: BaselineResult) -> str:
+    """JSON document with findings, baselined counts, and stale entries."""
+
+    def encode(finding: Finding) -> dict:
+        return {
+            "rule": finding.rule_id,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+            "hint": finding.hint,
+        }
+
+    payload = {
+        "findings": [encode(f) for f in result.new],
+        "baselined": [encode(f) for f in result.baselined],
+        "stale_baseline_entries": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in result.stale
+        ],
+        "summary": {
+            "new": len(result.new),
+            "baselined": len(result.baselined),
+            "stale": len(result.stale),
+        },
+    }
+    return json.dumps(payload, indent=2)

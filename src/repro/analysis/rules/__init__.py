@@ -1,0 +1,27 @@
+"""The reprolint domain rule pack.
+
+Importing this package registers every rule with the engine registry.
+Rule IDs are stable and documented in DESIGN.md:
+
+========  ====================  ==========================================
+ID        name                  invariant
+========  ====================  ==========================================
+REPRO001  rng-discipline        no module-global RNG; explicit Generators
+REPRO002  parity-pair-coverage  fast/reference twins tested together
+REPRO003  cache-immutability    plan-cache values never mutated in place
+REPRO004  dtype-contracts       masks/casts explicit in quantized paths
+REPRO005  units-discipline      no magic frequency/time literals
+REPRO006  constant-provenance   component constants cite datasheet/paper
+REPRO007  no-swallowed-errors   no bare/blanket silent exception handlers
+========  ====================  ==========================================
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    cache_freeze,
+    control,
+    dtype,
+    parity,
+    provenance,
+    rng,
+    units,
+)

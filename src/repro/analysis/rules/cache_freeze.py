@@ -1,0 +1,111 @@
+"""REPRO003 — plan-cache immutability.
+
+Plans returned by :mod:`repro.perf.cache` are shared across every modem
+instance with the same configuration; mutating one corrupts all of its
+consumers.  The cache freezes numpy arrays at build time, so mutation
+raises at runtime — this rule catches the pattern *statically* at the
+call site, including in-place mutators (``fill``/``sort``) and attempts
+to re-enable writes with ``setflags``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis import astutil
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+_MUTATORS = frozenset({
+    "fill", "sort", "partition", "put", "itemset", "resize", "byteswap",
+})
+
+_HINT = ("cached plans are shared; call .copy() for a private mutable "
+         "array")
+
+
+def _is_cache_lookup(node: ast.AST) -> bool:
+    """Whether an expression is a ``get_or_build(...)`` call."""
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = astutil.dotted_name(node.func)
+    return dotted is not None and dotted.split(".")[-1] == "get_or_build"
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The base ``Name`` of a (possibly subscripted) expression."""
+    current = node
+    while isinstance(current, (ast.Subscript, ast.Attribute)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+@register
+class CacheImmutabilityRule(FileRule):
+    """No in-place mutation of values obtained from the plan cache."""
+
+    rule_id = "REPRO003"
+    name = "cache-immutability"
+    description = ("values returned by repro.perf cache lookups must not "
+                   "be mutated in place")
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        for scope in astutil.function_scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(self, ctx: FileContext,
+                     scope: ast.AST) -> Iterator[Finding]:
+        tracked: set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and _is_cache_lookup(node.value):
+                for target in node.targets:
+                    tracked.update(astutil.assigned_names(target))
+            elif (isinstance(node, ast.AnnAssign) and node.value is not None
+                  and _is_cache_lookup(node.value)
+                  and isinstance(node.target, ast.Name)):
+                tracked.add(node.target.id)
+        if not tracked:
+            return
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Subscript)
+                            and _root_name(target) in tracked):
+                        yield self._finding(
+                            ctx, node,
+                            f"element assignment into cache-returned "
+                            f"'{_root_name(target)}'")
+            elif isinstance(node, ast.AugAssign):
+                root = _root_name(node.target)
+                if root in tracked:
+                    yield self._finding(
+                        ctx, node,
+                        f"in-place augmented assignment on cache-returned "
+                        f"'{root}'")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                root = _root_name(func.value)
+                if root not in tracked:
+                    continue
+                if func.attr == "setflags":
+                    yield self._finding(
+                        ctx, node,
+                        f"setflags() on cache-returned '{root}' defeats "
+                        f"plan immutability")
+                elif func.attr in _MUTATORS:
+                    yield self._finding(
+                        ctx, node,
+                        f"in-place mutator .{func.attr}() on "
+                        f"cache-returned '{root}'")
+
+    def _finding(self, ctx: FileContext, node: ast.AST,
+                 message: str) -> Finding:
+        return Finding(rule_id=self.rule_id, path=ctx.relpath,
+                       line=node.lineno, col=node.col_offset,
+                       message=message, hint=_HINT)

@@ -1,0 +1,65 @@
+"""REPRO007 — no bare excepts / swallowed errors in control paths.
+
+A simulation that silently eats an exception converts a detectable bug
+into a wrong number.  Bare ``except:`` additionally traps
+``KeyboardInterrupt``/``SystemExit``, hanging sweep drivers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis import astutil
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_swallowed(body: list[ast.stmt]) -> bool:
+    """A handler body that does nothing: only pass/`...`/continue."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is ...):
+            continue
+        return False
+    return True
+
+
+@register
+class SwallowedErrorRule(FileRule):
+    """Forbid bare ``except:`` and broad handlers that discard the error."""
+
+    rule_id = "REPRO007"
+    name = "no-swallowed-errors"
+    description = ("no bare except, and no except Exception whose body "
+                   "silently discards the error")
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    rule_id=self.rule_id, path=ctx.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    message=("bare 'except:' traps SystemExit and "
+                             "KeyboardInterrupt"),
+                    hint="catch a ReproError subclass (see repro.errors)")
+                continue
+            dotted = astutil.dotted_name(node.type)
+            broad = dotted in _BROAD or (
+                dotted is not None and dotted.split(".")[-1] in _BROAD)
+            if broad and _is_swallowed(node.body):
+                yield Finding(
+                    rule_id=self.rule_id, path=ctx.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"'except {dotted}' silently swallows the "
+                             f"error"),
+                    hint=("narrow the exception type or handle/log the "
+                          "failure explicitly"))

@@ -1,0 +1,189 @@
+"""REPRO004 — dtype/bit-width contracts in quantized modules.
+
+Modules that model hardware word formats (13-bit I/Q fields, LVDS
+words, fixed-point DSP) must manipulate declared-width integer arrays
+with *explicit* masks and casts.  An unmasked left shift relies on
+numpy's value-dependent promotion and silently wraps or widens; a
+narrowing ``astype`` of an arithmetic result truncates without saying
+so.  The rule does lightweight local type inference: any name assigned
+from an integer-dtype array constructor (``np.asarray(..., dtype=...)``,
+``np.zeros(...)``, ``.astype(...)``) is treated as a declared-width
+array inside that function.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis import astutil
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+_INT_DTYPES = frozenset({
+    "int8", "int16", "int32", "int64", "intp",
+    "uint8", "uint16", "uint32", "uint64", "uintp",
+})
+
+#: numpy dtype strings like "u4", ">u4", "<i8", "=u2".
+_DTYPE_STRING = re.compile(r"^[<>=|]?[iu](1|2|4|8)$")
+
+#: astype targets at or below 32 bits are "narrowing" for this codebase
+#: (the quantized paths accumulate in int64/uint64).
+_NARROW_DTYPES = frozenset({
+    "int8", "int16", "int32", "uint8", "uint16", "uint32",
+    "i1", "i2", "i4", "u1", "u2", "u4",
+})
+
+_ARRAY_CTORS = frozenset({
+    "asarray", "array", "empty", "zeros", "ones", "full", "arange",
+    "frombuffer", "fromiter",
+})
+
+_HINT = "mask with '& MASK' or cast with .astype(...) at the use site"
+
+
+def _dtype_name(node: ast.AST) -> str | None:
+    """The integer dtype named by an expression, if any."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value
+        if _DTYPE_STRING.match(text):
+            return text
+        if text in _INT_DTYPES:
+            return text
+        return None
+    dotted = astutil.dotted_name(node)
+    if dotted is not None and dotted.split(".")[-1] in _INT_DTYPES:
+        return dotted.split(".")[-1]
+    return None
+
+
+def _int_array_call(node: ast.AST) -> bool:
+    """Whether a call builds an integer-dtype numpy array."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "astype":
+        targets = list(node.args[:1]) + [
+            kw.value for kw in node.keywords if kw.arg == "dtype"]
+        return any(_dtype_name(t) is not None for t in targets)
+    dotted = astutil.dotted_name(func)
+    if dotted is None or dotted.split(".")[-1] not in _ARRAY_CTORS:
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "dtype" and _dtype_name(keyword.value) is not None:
+            return True
+    return False
+
+
+def _int_array_expr(node: ast.AST, tracked: set[str]) -> bool:
+    """Whether an expression is (locally) known to be an integer array."""
+    if isinstance(node, ast.Name):
+        return node.id in tracked
+    if _int_array_call(node):
+        return True
+    if isinstance(node, ast.BinOp):
+        return (_int_array_expr(node.left, tracked)
+                or _int_array_expr(node.right, tracked))
+    return False
+
+
+@register
+class DtypeContractRule(FileRule):
+    """Quantized arithmetic must mask/cast explicitly."""
+
+    rule_id = "REPRO004"
+    name = "dtype-contracts"
+    description = ("declared-width integer arrays must be masked or cast "
+                   "explicitly around shifts and narrowing conversions")
+    default_scope = ("*/radio/iqword.py", "*/radio/lvds.py",
+                     "*/dsp/fixedpoint.py", "*/dsp/nco.py", "*/fpga/*.py")
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        for scope in astutil.function_scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope)
+
+    def _tracked_names(self, scope: ast.AST) -> set[str]:
+        tracked: set[str] = set()
+        for node in ast.walk(scope):
+            value = None
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            if value is None:
+                continue
+            if _int_array_expr(value, tracked):
+                for target in targets:
+                    tracked.update(astutil.assigned_names(target))
+        return tracked
+
+    def _check_scope(self, ctx: FileContext,
+                     scope: ast.AST) -> Iterator[Finding]:
+        tracked = self._tracked_names(scope)
+        for node in ast.walk(scope):
+            if (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.LShift)
+                    and _int_array_expr(node.left, tracked)
+                    and not self._masked_or_cast(ctx, node)):
+                yield Finding(
+                    rule_id=self.rule_id, path=ctx.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    message=("left shift of declared-width integer array "
+                             "without an explicit mask or cast"),
+                    hint=_HINT)
+            elif isinstance(node, ast.Call):
+                yield from self._check_narrowing(ctx, node)
+
+    def _masked_or_cast(self, ctx: FileContext, node: ast.BinOp) -> bool:
+        """A shift is fine if masked or cast within its own statement."""
+        for child in ast.walk(node.left):
+            if isinstance(child, ast.BinOp) and isinstance(child.op,
+                                                           ast.BitAnd):
+                return True
+        statement = ctx.statement_of(node)
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.BinOp) and isinstance(ancestor.op,
+                                                              ast.BitAnd):
+                return True
+            if isinstance(ancestor, ast.Call):
+                is_astype = (isinstance(ancestor.func, ast.Attribute)
+                             and ancestor.func.attr == "astype")
+                if is_astype or _dtype_name(ancestor.func) is not None:
+                    return True
+            if ancestor is statement:
+                break
+        return False
+
+    def _check_narrowing(self, ctx: FileContext,
+                         node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "astype"):
+            return
+        targets = list(node.args[:1]) + [
+            kw.value for kw in node.keywords if kw.arg == "dtype"]
+        dtype = next((d for t in targets
+                      if (d := _dtype_name(t)) is not None), None)
+        if dtype is None or dtype.lstrip("<>=|") not in _NARROW_DTYPES:
+            return
+        value = func.value
+        if not isinstance(value, ast.BinOp):
+            return
+        arithmetic = isinstance(
+            value.op, (ast.Add, ast.Sub, ast.Mult, ast.LShift))
+        masked = any(
+            isinstance(child, ast.BinOp) and isinstance(child.op, ast.BitAnd)
+            for child in ast.walk(value))
+        modular = any(
+            isinstance(child, ast.BinOp) and isinstance(child.op, ast.Mod)
+            for child in ast.walk(value))
+        if arithmetic and not masked and not modular:
+            yield Finding(
+                rule_id=self.rule_id, path=ctx.relpath,
+                line=node.lineno, col=node.col_offset,
+                message=(f"narrowing .astype({dtype}) of an arithmetic "
+                         f"result without an explicit mask"),
+                hint=_HINT)

@@ -1,0 +1,120 @@
+"""REPRO006 — datasheet-constant provenance in component models.
+
+The component models (AT86RF215/SX1276 radios, the ECP5 FPGA, the PMU,
+the platform comparison tables) are built almost entirely out of numbers
+copied from datasheets and the paper.  A constant without a citation
+cannot be audited when a simulation disagrees with the hardware.  Every
+UPPER_CASE numeric constant in these modules must carry a provenance
+marker — ``# datasheet: ...``, ``# paper: ...`` or ``# spec: ...`` — as
+a same-line/preceding comment or in the constant's trailing docstring.
+A marker comment above a *contiguous* run of constant assignments (a
+calibration table, a register map) covers the whole run — the common
+block-library idiom — but any blank line ends its reach.
+
+Constants *derived* from other named constants (no numeric literal in
+the right-hand side) inherit their provenance and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis import astutil
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+_MARKERS = ("datasheet:", "paper:", "spec:")
+
+_UPPER_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+_HINT = ("cite the source: '# datasheet: <doc, section>' or "
+         "'# paper: <section/figure>'")
+
+
+def _has_marker(text: str) -> bool:
+    lowered = text.lower()
+    return any(marker in lowered for marker in _MARKERS)
+
+
+def _docstring_after(body: list[ast.stmt], index: int) -> str | None:
+    """The string expression immediately following ``body[index]``."""
+    if index + 1 < len(body):
+        candidate = body[index + 1]
+        if (isinstance(candidate, ast.Expr)
+                and isinstance(candidate.value, ast.Constant)
+                and isinstance(candidate.value.value, str)):
+            return candidate.value.value
+    return None
+
+
+@register
+class ProvenanceRule(FileRule):
+    """Component-model constants must cite a datasheet or the paper."""
+
+    rule_id = "REPRO006"
+    name = "constant-provenance"
+    description = ("numeric constants in component models need a "
+                   "'# datasheet:'/'# paper:' provenance marker")
+    default_scope = ("*/radio/*.py", "*/fpga/*.py", "*/power/*.py",
+                     "*/platforms/*.py")
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        yield from self._check_body(ctx, ctx.tree.body)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_body(ctx, node.body)
+
+    def _check_body(self, ctx: FileContext,
+                    body: list[ast.stmt]) -> Iterator[Finding]:
+        for index, stmt in enumerate(body):
+            if isinstance(stmt, ast.Assign):
+                names = [name for target in stmt.targets
+                         for name in astutil.assigned_names(target)]
+                value = stmt.value
+            elif (isinstance(stmt, ast.AnnAssign)
+                  and isinstance(stmt.target, ast.Name)
+                  and stmt.value is not None):
+                names = [stmt.target.id]
+                value = stmt.value
+            else:
+                continue
+            if not names or not all(_UPPER_RE.match(name) for name in names):
+                continue
+            if not any(True for _ in astutil.numeric_literals(value)):
+                continue
+            if self._documented(ctx, stmt, body, index):
+                continue
+            yield Finding(
+                rule_id=self.rule_id, path=ctx.relpath,
+                line=stmt.lineno, col=stmt.col_offset,
+                message=(f"constant '{names[0]}' has no provenance "
+                         f"marker"),
+                hint=_HINT)
+
+    def _documented(self, ctx: FileContext, stmt: ast.stmt,
+                    body: list[ast.stmt], index: int) -> bool:
+        for line in range(stmt.lineno, stmt.end_lineno + 1):
+            if _has_marker(ctx.line_comment(line)):
+                return True
+        # Walk upward through the contiguous run this constant belongs
+        # to: comment lines and sibling assignment lines extend the run,
+        # a blank line or any other statement ends it.
+        sibling_lines: set[int] = set()
+        for sibling in body:
+            if isinstance(sibling, (ast.Assign, ast.AnnAssign)):
+                sibling_lines.update(
+                    range(sibling.lineno, sibling.end_lineno + 1))
+        line = stmt.lineno - 1
+        while line >= 1:
+            text = ctx.lines[line - 1].strip()
+            if text.startswith("#"):
+                if _has_marker(text):
+                    return True
+            elif not (text and line in sibling_lines):
+                break
+            line -= 1
+        docstring = _docstring_after(body, index)
+        return docstring is not None and _has_marker(docstring)

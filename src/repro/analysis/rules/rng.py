@@ -1,0 +1,104 @@
+"""REPRO001 — RNG discipline.
+
+Bit-exact reproducibility requires every stochastic code path to draw
+from an explicitly threaded :class:`numpy.random.Generator`.  Calls into
+the module-global numpy RNG (``np.random.normal`` and friends), the
+stdlib ``random`` module, or an *unseeded* ``default_rng()`` make a
+simulation unrepeatable from its configuration alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis import astutil
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+#: numpy.random names that are construction machinery, not global draws.
+_ALLOWED_NUMPY = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: stdlib random names that are seedable classes, not global draws.
+_ALLOWED_STDLIB = frozenset({"Random", "SystemRandom"})
+
+_HINT = ("thread an explicit np.random.Generator parameter "
+         "(np.random.default_rng(seed)) through this code path")
+
+
+@register
+class RngDisciplineRule(FileRule):
+    """Forbid module-global RNG use and unseeded generators."""
+
+    rule_id = "REPRO001"
+    name = "rng-discipline"
+    description = ("no module-global np.random/random calls; stochastic "
+                   "code must accept an explicit np.random.Generator")
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        aliases = astutil.import_aliases(ctx.tree)
+        stdlib_random = any(target == "random" or target.startswith("random.")
+                            for target in aliases.values())
+        yield from self._check_imports(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = astutil.canonical_name(node.func, aliases)
+            if canonical is None:
+                continue
+            yield from self._check_call(ctx, node, canonical, stdlib_random)
+
+    def _check_imports(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom) or node.level:
+                continue
+            if node.module == "numpy.random":
+                allowed = _ALLOWED_NUMPY
+            elif node.module == "random":
+                allowed = _ALLOWED_STDLIB
+            else:
+                continue
+            for alias in node.names:
+                if alias.name not in allowed:
+                    yield Finding(
+                        rule_id=self.rule_id, path=ctx.relpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=(f"import of global RNG entry point "
+                                 f"'{node.module}.{alias.name}'"),
+                        hint=_HINT)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call, canonical: str,
+                    stdlib_random: bool) -> Iterator[Finding]:
+        if canonical.startswith("numpy.random."):
+            attr = canonical.removeprefix("numpy.random.")
+            if "." in attr:
+                return
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield Finding(
+                        rule_id=self.rule_id, path=ctx.relpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=("unseeded default_rng() draws entropy from "
+                                 "the OS and is not reproducible"),
+                        hint="seed it explicitly or accept a Generator")
+            elif attr not in _ALLOWED_NUMPY:
+                yield Finding(
+                    rule_id=self.rule_id, path=ctx.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"call to module-global RNG "
+                             f"'numpy.random.{attr}'"),
+                    hint=_HINT)
+        elif stdlib_random and (canonical == "random"
+                                or canonical.startswith("random.")):
+            attr = canonical.removeprefix("random.")
+            if not attr or "." in attr or attr in _ALLOWED_STDLIB:
+                return
+            yield Finding(
+                rule_id=self.rule_id, path=ctx.relpath,
+                line=node.lineno, col=node.col_offset,
+                message=f"call to stdlib global RNG 'random.{attr}'",
+                hint=_HINT)

@@ -43,7 +43,7 @@ class BackscatterConfig:
         tag_loss_db: carrier-to-reflection conversion loss at the tag.
     """
 
-    sample_rate_hz: float = 4e6
+    sample_rate_hz: float = 4e6  # units: Hz, the radio's 4 MHz I/Q rate
     subcarrier_hz: float = 100e3
     bit_rate_bps: float = 10e3
     tag_loss_db: float = 30.0

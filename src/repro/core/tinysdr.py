@@ -36,7 +36,10 @@ from repro.phy.lora.modulator import LoRaModulator
 from repro.phy.lora.params import LoRaParams
 from repro.power.meter import EnergyMeter
 from repro.power.pmu import PlatformState, PowerManagementUnit
-from repro.radio.at86rf215 import At86Rf215
+from repro.radio.at86rf215 import DEFAULT_FREQUENCY_HZ, At86Rf215
+
+BLE_CENTER_FREQUENCY_HZ = 2_440_000_000
+"""Mid-band 2.4 GHz carrier used for BLE beacon bursts (paper Fig. 13)."""
 
 
 @dataclass(frozen=True)
@@ -63,7 +66,7 @@ class TinySdr:
     """
 
     def __init__(self, node_id: int = 0,
-                 frequency_hz: float = 915e6) -> None:
+                 frequency_hz: float = DEFAULT_FREQUENCY_HZ) -> None:
         self.node_id = node_id
         self.radio = At86Rf215(frequency_hz=frequency_hz)
         self.mcu = Msp432()
@@ -204,7 +207,7 @@ class TinySdr:
         schedule = advertising_event(airtime, TINYSDR_HOP_DELAY_S)
         modulator = GfskModulator()
         records = []
-        self.radio.set_frequency(2_440_000_000)
+        self.radio.set_frequency(BLE_CENTER_FREQUENCY_HZ)
         self.radio.set_tx_power(tx_power_dbm)
         self.radio.enter_tx()
         self.pmu.enter_state(PlatformState.IQ_TX, tx_power_dbm=tx_power_dbm,

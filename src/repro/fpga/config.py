@@ -14,10 +14,10 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError, FpgaError
 from repro.fpga.bitstream import BITSTREAM_BYTES, bitstream_fingerprint
 
-QUAD_SPI_CLOCK_HZ = 62_000_000
-QUAD_SPI_LANES = 4
+QUAD_SPI_CLOCK_HZ = 62_000_000  # paper: section 3.1.3 (62 MHz quad-SPI)
+QUAD_SPI_LANES = 4  # paper: section 3.1.3 (quad-SPI configuration port)
 
-CONFIG_OVERHEAD_S = 3.3e-3
+CONFIG_OVERHEAD_S = 3.3e-3  # paper: section 5.3 (22 ms total calibration)
 """Preamble/wake/CRC-check overhead beyond raw bit transfer, calibrated so
 a 579 kB image completes in the paper's 22 ms."""
 

@@ -15,8 +15,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError, FifoOverflowError, FifoUnderflowError
 
-DEFAULT_CAPACITY_BYTES = 126 * 1024
-BYTES_PER_SAMPLE = 4
+DEFAULT_CAPACITY_BYTES = 126 * 1024  # paper: section 3.1.1 (126 kB buffer)
+BYTES_PER_SAMPLE = 4  # paper: Fig. 4 (one 32-bit word per I/Q sample)
 """13-bit I + 13-bit Q + framing, stored as one 32-bit word."""
 
 

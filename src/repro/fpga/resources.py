@@ -19,10 +19,10 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, ResourceExhaustedError
 
-LFE5U_25F_LUTS = 24_000
+LFE5U_25F_LUTS = 24_000  # paper: section 3.1.1 ('24 k logic units')
 """Logic capacity of the LFE5U-25F ('24 k logic units', paper 3.1.1)."""
 
-LFE5U_25F_BRAM_BITS = 1_008 * 1024
+LFE5U_25F_BRAM_BITS = 1_008 * 1024  # datasheet: Lattice ECP5 LFE5U-25F sysMEM
 """Embedded SRAM: the paper buffers up to 126 kB = 1008 kbit."""
 
 
@@ -47,7 +47,7 @@ class Block:
 
 
 # Block library.  LUT budgets are calibrated so composed designs land on
-# the paper's Table 6 totals; see the design functions below.
+# the totals of paper: Table 6; see the design functions below.
 IQ_DESERIALIZER = Block("iq_deserializer", luts=140)
 IQ_SERIALIZER = Block("iq_serializer", luts=160)
 FIR_LOWPASS_14TAP = Block("fir_lowpass_14tap", luts=390)
@@ -60,7 +60,7 @@ TX_CONTROL = Block("tx_control", luts=156)
 RX_CONTROL = Block("rx_control", luts=110)
 PLL_CLOCKING = Block("pll_clocking", luts=60)
 
-# BLE blocks (together 720 LUTs = 3 % of the device, paper 5.2).
+# BLE blocks (together 720 LUTs = 3 % of the device, paper: section 5.2).
 BLE_CRC24 = Block("ble_crc24", luts=80)
 BLE_WHITENER = Block("ble_whitener", luts=50)
 BLE_HEADER_BUILDER = Block("ble_header_builder", luts=70)
@@ -72,14 +72,14 @@ BLE_TX_CONTROL = Block("ble_tx_control", luts=60)
 # Secondary-branch blocks of the concurrent receiver: a second parameter
 # set for the shared chirp tables, a decimator bringing the wide stream
 # down to the branch bandwidth, and an FFT that reuses the primary
-# branch's twiddle ROMs.
+# branch's twiddle ROMs.  Calibrated against paper: Table 6.
 DECIMATOR = Block("decimator", luts=60)
 CHIRP_GENERATOR_SECONDARY = Block("chirp_generator_secondary", luts=140)
-FFT_TWIDDLE_SHARING_LUTS = 380
+FFT_TWIDDLE_SHARING_LUTS = 380  # paper: Table 6 (concurrent RX calibration)
 """LUTs saved per secondary FFT by reusing the primary's twiddle ROMs."""
 
-# FFT core LUT usage per spreading factor, calibrated from Table 6:
-# fft(SF) = RX_total(SF) - fixed RX pipeline (1400 LUTs).
+# FFT core LUT usage per spreading factor, calibrated from paper: Table 6
+# as fft(SF) = RX_total(SF) - fixed RX pipeline (1400 LUTs).
 FFT_LUTS_BY_SF = {
     6: 1256, 7: 1270, 8: 1300, 9: 1342, 10: 1386, 11: 1394, 12: 1418,
 }

@@ -22,11 +22,14 @@ import numpy as np
 
 from repro.channel.link import LinkBudget, ReceivedSignal, receive
 from repro.errors import ConfigurationError
-from repro.ml.mlp import MlpClassifier, QuantizedMlp, fpga_inference_cost
+from repro.ml.mlp import MlpClassifier, fpga_inference_cost
 from repro.phy.lora.chirp import chirp_train, ideal_downchirp
 from repro.phy.lora.params import LoRaParams
 
 FEATURE_BINS = 32
+
+STUDY_BANDWIDTH_HZ = 125e3
+"""LoRa channel bandwidth the carrier-sense study samples at."""
 """Spectral features per window: the dechirped FFT folded into 32 bins."""
 
 
@@ -118,7 +121,7 @@ def run_carrier_sense_study(rng: np.random.Generator,
                             hidden_units: int = 16,
                             epochs: int = 60) -> CarrierSenseStudy:
     """Train, quantize and cost the busy/idle detector end to end."""
-    params = params or LoRaParams(8, 125e3)
+    params = params or LoRaParams(8, STUDY_BANDWIDTH_HZ)
     train_x, train_y = synthesize_dataset(params, snr_range_db,
                                           train_per_class, rng)
     test_x, test_y = synthesize_dataset(params, snr_range_db,

@@ -182,7 +182,9 @@ class QuantizedMlp:
         return np.argmax(acc2, axis=-1)
 
 
-def fpga_inference_cost(macs: int, clock_hz: float = 32e6,
+def fpga_inference_cost(macs: int,
+                        clock_hz: float = 32e6,  # units: Hz, FPGA RX clock
+
                         macs_per_cycle: int = 8) -> dict[str, float]:
     """Resource/latency/energy estimate for integer MLP inference.
 

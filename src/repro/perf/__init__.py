@@ -34,3 +34,10 @@ __all__ = [
     "plan_cache",
     "stats",
 ]
+
+# Opt-in runtime sanitizer: REPRO_SANITIZE=1 wraps PlanCache.get_or_build
+# so any writable array escaping the freezer raises immediately.
+from repro.analysis.sanitize import install_from_env as _install_sanitizer
+
+_install_sanitizer()
+del _install_sanitizer

@@ -53,11 +53,19 @@ class CacheStats:
 
 
 def _freeze(value: Any) -> Any:
-    """Make cached numpy arrays immutable (recursing into tuples/lists)."""
+    """Make cached numpy arrays immutable (recursing into containers).
+
+    Tuples, lists and dict values are traversed so builders may return
+    structured plans; every numpy array reachable through them is frozen
+    at the single choke point all cache entries pass through.
+    """
     if isinstance(value, np.ndarray):
         value.setflags(write=False)
     elif isinstance(value, (tuple, list)):
         for item in value:
+            _freeze(item)
+    elif isinstance(value, dict):
+        for item in value.values():
             _freeze(item)
     return value
 

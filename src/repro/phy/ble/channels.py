@@ -17,6 +17,11 @@ from repro.errors import ConfigurationError
 ADVERTISING_CHANNELS = (37, 38, 39)
 ADVERTISING_FREQUENCIES_HZ = (2_402_000_000, 2_426_000_000, 2_480_000_000)
 
+# spec: Bluetooth Core 5.0 vol 6 part B section 1.4 (channel grid).
+BLE_CHANNEL_SPACING_HZ = 2_000_000
+BLE_DATA_LOW_BASE_HZ = 2_404_000_000
+BLE_DATA_HIGH_BASE_HZ = 2_428_000_000
+
 TINYSDR_HOP_DELAY_S = 220e-6
 """Frequency switch delay measured on tinySDR (paper Table 4 / Fig. 13)."""
 
@@ -33,15 +38,11 @@ def channel_frequency_hz(channel: int) -> int:
     """
     if not 0 <= channel <= 39:
         raise ConfigurationError(f"BLE channel must be 0..39, got {channel}")
-    if channel == 37:
-        return 2_402_000_000
-    if channel == 38:
-        return 2_426_000_000
-    if channel == 39:
-        return 2_480_000_000
+    if channel in ADVERTISING_CHANNELS:
+        return ADVERTISING_FREQUENCIES_HZ[ADVERTISING_CHANNELS.index(channel)]
     if channel <= 10:
-        return 2_404_000_000 + channel * 2_000_000
-    return 2_428_000_000 + (channel - 11) * 2_000_000
+        return BLE_DATA_LOW_BASE_HZ + channel * BLE_CHANNEL_SPACING_HZ
+    return BLE_DATA_HIGH_BASE_HZ + (channel - 11) * BLE_CHANNEL_SPACING_HZ
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,7 @@ class SdrPlatform:
     tx_output_dbm: float | None
 
 
+# paper: Table 1 and Fig. 2 (platform survey; power bars).
 SDR_PLATFORMS: tuple[SdrPlatform, ...] = (
     SdrPlatform("USRP E310", 2.820, True, False, 3000.0, 30.72e6, 12,
                 ((70e6, 6000e6),), (6.8, 13.3), 1.375, 0.920, 10.0),
@@ -88,6 +89,7 @@ class IqRadioChip:
     cost_usd: float
 
 
+# paper: Table 2 (I/Q radio chip survey).
 IQ_RADIO_CHIPS: tuple[IqRadioChip, ...] = (
     IqRadioChip("AD9361", ((70e6, 6000e6),), 0.262, 282.0),
     IqRadioChip("AD9363", ((325e6, 3800e6),), 0.262, 123.0),
@@ -101,6 +103,7 @@ IQ_RADIO_CHIPS: tuple[IqRadioChip, ...] = (
 )
 """Paper Table 2: the radio-chip survey that selected the AT86RF215."""
 
+# paper: section 1 (bandwidths IoT protocols actually use).
 IOT_PROTOCOL_BANDWIDTHS_HZ = {
     "LoRa": 500e3,
     "Sigfox": 200.0,
@@ -156,6 +159,12 @@ def supports_protocol(platform: SdrPlatform, protocol: str) -> bool:
     return platform.max_bandwidth_hz >= IOT_PROTOCOL_BANDWIDTHS_HZ[protocol]
 
 
+# paper: section 2 (endpoint requirement thresholds).
+ENDPOINT_BAND_900_HZ = 915e6
+ENDPOINT_BAND_2G4_HZ = 2440e6
+ENDPOINT_MIN_BANDWIDTH_HZ = 2e6
+
+
 def endpoint_requirements_report() -> dict[str, dict[str, bool]]:
     """Score every platform against the paper's six endpoint requirements.
 
@@ -166,13 +175,15 @@ def endpoint_requirements_report() -> dict[str, dict[str, bool]]:
     report = {}
     for platform in SDR_PLATFORMS:
         report[platform.name] = {
-            "dual_band_900_2400": (covers_band(platform, 915e6)
-                                   and covers_band(platform, 2440e6)),
+            "dual_band_900_2400": (covers_band(platform, ENDPOINT_BAND_900_HZ)
+                                   and covers_band(platform,
+                                                   ENDPOINT_BAND_2G4_HZ)),
             "sleep_below_1mw": (platform.sleep_power_w is not None
                                 and platform.sleep_power_w < 1e-3),
             "standalone": platform.standalone,
             "ota_programmable": platform.ota_programmable,
             "cost_below_100usd": platform.cost_usd < 100.0,
-            "bandwidth_2mhz": platform.max_bandwidth_hz >= 2e6,
+            "bandwidth_2mhz": (platform.max_bandwidth_hz
+                               >= ENDPOINT_MIN_BANDWIDTH_HZ),
         }
     return report

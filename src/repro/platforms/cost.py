@@ -27,6 +27,7 @@ class BomLine:
     unit_price_usd: float
 
 
+# paper: Table 5 (1000-unit bill of materials).
 BILL_OF_MATERIALS: tuple[BomLine, ...] = (
     BomLine("DSP", "FPGA", 8.69),
     BomLine("DSP", "Oscillator", 0.90),

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
-SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0  # spec: Julian year
 
 
 @dataclass(frozen=True)
@@ -75,5 +75,5 @@ class Battery:
         return int(self.energy_j / energy_per_operation_j)
 
 
-LIPO_1000MAH = Battery(capacity_mah=1000.0, voltage_v=3.7)
+LIPO_1000MAH = Battery(capacity_mah=1000.0, voltage_v=3.7)  # paper: §6
 """The cell the paper's lifetime figures use."""

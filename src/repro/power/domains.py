@@ -34,6 +34,7 @@ class DomainSpec:
     always_on: bool = False
 
 
+# paper: Fig. 5 (power tree: six switchable supply domains).
 DOMAIN_TABLE: tuple[DomainSpec, ...] = (
     DomainSpec("V1", TPS78218, 1.8, ("mcu",), always_on=True),
     DomainSpec("V2", TPS62240, 1.1, ("fpga_core",)),

@@ -22,6 +22,8 @@ from repro.fpga.resources import (
 from repro.power import profiles
 from repro.power.domains import PowerDomain, build_domains
 
+FPGA_BOOT_CLOCK_HZ = 62e6  # datasheet: Lattice ECP5 sysCONFIG master clock
+
 
 class PlatformState(enum.Enum):
     """Top-level operating states of the tinySDR platform."""
@@ -122,7 +124,7 @@ class PowerManagementUnit:
                      if state == PlatformState.IQ_TX
                      else profiles.FPGA_RX_CLOCK_HZ)
             if state == PlatformState.FPGA_BOOT:
-                clock = 62e6  # quad-SPI configuration clock
+                clock = FPGA_BOOT_CLOCK_HZ
             fpga_w = profiles.fpga_power_w(fpga_luts, clock)
             self._power_domain("V2", {"fpga_core": fpga_w})
             self._power_domain(

@@ -14,26 +14,26 @@ from repro.errors import ConfigurationError
 
 # --- MCU (MSP432P401R) ------------------------------------------------------
 
-MCU_ACTIVE_W = 7.2e-3
+MCU_ACTIVE_W = 7.2e-3  # datasheet: MSP432P401R, ~4 mA active at 1.8 V
 """~4 mA at 1.8 V running the MAC and control loops."""
 
-MCU_LPM3_W = 2.55e-6
+MCU_LPM3_W = 2.55e-6  # datasheet: MSP432P401R, LPM3 0.85 uA at 3 V
 """0.85 uA at 3 V: RTC + wakeup timer only."""
 
 # --- I/Q radio (AT86RF215) ---------------------------------------------------
 
-IQ_RADIO_RX_W = 0.050
+IQ_RADIO_RX_W = 0.050  # paper: Table 2 (50 mW receive)
 """Table 2: 50 mW receive."""
 
-IQ_RADIO_TX_BASE_W = 0.122
+IQ_RADIO_TX_BASE_W = 0.122  # paper: Fig. 9 (flat low-power TX region)
 """Measured flat region of Fig. 9: DC draw is constant at low RF power."""
 
-IQ_RADIO_TX_KNEE_DBM = 0.0
-IQ_RADIO_TX_SLOPE_W_PER_RF_W = 2.37
+IQ_RADIO_TX_KNEE_DBM = 0.0  # paper: Fig. 9 (knee of the TX power curve)
+IQ_RADIO_TX_SLOPE_W_PER_RF_W = 2.37  # paper: Fig. 9 (+14 dBm calibration)
 """Above the knee the DC draw rises with RF output; calibrated so +14 dBm
 costs 179 mW, the radio share the paper reports for LoRa TX."""
 
-IQ_RADIO_SLEEP_W = 30e-9
+IQ_RADIO_SLEEP_W = 30e-9  # datasheet: AT86RF215, DEEP_SLEEP current
 
 
 def iq_radio_tx_w(output_power_dbm: float) -> float:
@@ -50,17 +50,18 @@ def iq_radio_tx_w(output_power_dbm: float) -> float:
 
 # --- Backbone radio (SX1276) -------------------------------------------------
 
+# datasheet: SX1276 supply-current table (RX, +14 dBm TX, sleep).
 BACKBONE_RX_W = 0.0396
 BACKBONE_TX_14DBM_W = 0.120
 BACKBONE_SLEEP_W = 0.66e-6
 
 # --- FPGA (LFE5U-25F) ---------------------------------------------------------
 
-FPGA_STATIC_W = 0.020
-FPGA_DYNAMIC_W_PER_LUT_HZ = 8.3e-13
+FPGA_STATIC_W = 0.020  # datasheet: Lattice ECP5, static core leakage
+FPGA_DYNAMIC_W_PER_LUT_HZ = 8.3e-13  # paper: Fig. 9 (calibrated)
 """Calibrated against Fig. 9 (TX design at 64 MHz) and the LoRa RX total."""
 
-FPGA_OFF_W = 0.0
+FPGA_OFF_W = 0.0  # paper: section 3.2.2 (power-gated domain, fully off)
 
 
 def fpga_power_w(luts: int, effective_clock_hz: float) -> float:
@@ -77,22 +78,22 @@ def fpga_power_w(luts: int, effective_clock_hz: float) -> float:
     return FPGA_STATIC_W + FPGA_DYNAMIC_W_PER_LUT_HZ * luts * effective_clock_hz
 
 
-FPGA_TX_CLOCK_HZ = 52e6
+FPGA_TX_CLOCK_HZ = 52e6  # paper: Fig. 9 (TX calibration; 64 MHz derated)
 """Effective toggle rate of modulator designs: the 64 MHz serializer
 clock discounted by idle cycles."""
 
-FPGA_RX_CLOCK_HZ = 32e6
+FPGA_RX_CLOCK_HZ = 32e6  # paper: LoRa RX total (calibrated toggle rate)
 """Demodulator designs run the sample pipeline and burst FFTs near 32 MHz."""
 
 # --- Memories -----------------------------------------------------------------
 
-FLASH_ACTIVE_W = 0.015
-FLASH_STANDBY_W = 0.2e-6 * 1.8
-MICROSD_ACTIVE_W = 0.060
+FLASH_ACTIVE_W = 0.015  # datasheet: serial NOR flash, active read/program
+FLASH_STANDBY_W = 0.2e-6 * 1.8  # datasheet: serial NOR flash, standby
+MICROSD_ACTIVE_W = 0.060  # spec: typical microSD active draw
 
 # --- Board --------------------------------------------------------------------
 
-BOARD_LEAKAGE_W = 20.5e-6
+BOARD_LEAKAGE_W = 20.5e-6  # paper: 30 uW measured sleep minus datasheet sum
 """Residual board draw in sleep (level shifters, pull-ups, battery
 monitoring) - the difference between the datasheet sum (~9 uW) and the
 paper's measured 30 uW system sleep power."""

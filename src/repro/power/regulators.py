@@ -47,20 +47,24 @@ class RegulatorSpec:
     adjustable_range_v: tuple[float, float] | None = None
 
 
+# datasheet: TI TPS78218 (LDO regulator)
 TPS78218 = RegulatorSpec(
     name="TPS78218", topology="linear", output_v=1.8,
     max_current_a=0.150, quiescent_a=0.45e-6, shutdown_a=0.05e-6)
 
+# datasheet: TI TPS62240 (step-down converter)
 TPS62240 = RegulatorSpec(
     name="TPS62240", topology="buck", output_v=1.8,
     max_current_a=0.300, quiescent_a=22e-6, shutdown_a=0.1e-6,
     efficiency=0.90)
 
+# datasheet: TI TPS62080 (step-down converter)
 TPS62080 = RegulatorSpec(
     name="TPS62080", topology="buck", output_v=3.5,
     max_current_a=1.200, quiescent_a=12e-6, shutdown_a=0.25e-6,
     efficiency=0.88)
 
+# datasheet: Semtech SC195 (adjustable buck regulator)
 SC195 = RegulatorSpec(
     name="SC195", topology="buck", output_v=1.8,
     max_current_a=0.500, quiescent_a=28e-6, shutdown_a=0.1e-6,

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.phy.lora.params import LoRaParams
+from repro.protocols.lorawan.channels import LORA_BW_125K_HZ
 from repro.radio.sx1276 import (
     SNR_THRESHOLD_DB,
     packet_error_probability,
@@ -125,7 +126,7 @@ class AdrSimulationResult:
 
 def simulate_adr(path_loss_db: float, rng: np.random.Generator,
                  payload_bytes: int = 20, uplinks: int = 60,
-                 bandwidth_hz: float = 125e3,
+                 bandwidth_hz: float = LORA_BW_125K_HZ,
                  fading_sigma_db: float = 2.0) -> AdrSimulationResult:
     """Run a device from SF12/14 dBm through ADR convergence.
 
@@ -185,7 +186,8 @@ def simulate_adr(path_loss_db: float, rng: np.random.Generator,
 
 def fixed_rate_cost(spreading_factor: int, tx_power_dbm: float,
                     payload_bytes: int = 20,
-                    bandwidth_hz: float = 125e3) -> tuple[float, float]:
+                    bandwidth_hz: float = LORA_BW_125K_HZ
+                    ) -> tuple[float, float]:
     """(airtime, energy) per packet for a fixed configuration baseline."""
     from repro.power.profiles import iq_radio_tx_w
     params = LoRaParams(spreading_factor, bandwidth_hz)

@@ -16,6 +16,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError, ProtocolError
 
+# spec: LoRaWAN Regional Parameters (EU868 mandatory channels, US915 grid).
+LORA_BW_125K_HZ = 125e3
+EU868_MANDATORY_FREQS_HZ = (868.1e6, 868.3e6, 868.5e6)
+US915_UPLINK_BASE_HZ = 902.3e6
+US915_UPLINK_SPACING_HZ = 200e3
+
 
 @dataclass(frozen=True)
 class Channel:
@@ -70,8 +76,9 @@ class ChannelPlan:
 def eu868_plan() -> ChannelPlan:
     """EU868: the three mandatory 125 kHz channels (g1 sub-band, 1 %)."""
     channels = tuple(
-        Channel(index=i, frequency_hz=f, bandwidth_hz=125e3, sub_band=1)
-        for i, f in enumerate((868.1e6, 868.3e6, 868.5e6)))
+        Channel(index=i, frequency_hz=f, bandwidth_hz=LORA_BW_125K_HZ,
+                sub_band=1)
+        for i, f in enumerate(EU868_MANDATORY_FREQS_HZ))
     return ChannelPlan(name="EU868", channels=channels,
                        duty_cycle_limit=0.01)
 
@@ -79,8 +86,10 @@ def eu868_plan() -> ChannelPlan:
 def us915_plan() -> ChannelPlan:
     """US915: 64 x 125 kHz uplink channels, 400 ms dwell limit."""
     channels = tuple(
-        Channel(index=i, frequency_hz=902.3e6 + 200e3 * i,
-                bandwidth_hz=125e3)
+        Channel(index=i,
+                frequency_hz=(US915_UPLINK_BASE_HZ
+                              + US915_UPLINK_SPACING_HZ * i),
+                bandwidth_hz=LORA_BW_125K_HZ)
         for i in range(64))
     return ChannelPlan(name="US915", channels=channels,
                        dwell_time_limit_s=0.4)

@@ -213,7 +213,7 @@ class NetworkServer:
     net_id: int = 0x000013
     app_keys: dict[int, bytes] = field(default_factory=dict)
     sessions: dict[int, SessionKeys] = field(default_factory=dict)
-    next_dev_addr: int = 0x26011000
+    next_dev_addr: int = 0x26011000  # spec: TTN-style DevAddr block
     app_nonce: int = 0x100
 
     def register(self, identity: DeviceIdentity) -> None:

@@ -28,35 +28,38 @@ from repro.dsp.filters import design_lowpass, filter_block
 from repro.dsp.fixedpoint import quantize_complex
 from repro.errors import ConfigurationError, RadioError
 
-SAMPLE_RATE_HZ = 4_000_000
-ADC_BITS = 13
-DAC_BITS = 13
+SAMPLE_RATE_HZ = 4_000_000  # paper: Table 2 (4 MHz baseband sampling)
+ADC_BITS = 13  # paper: Table 2 (13-bit I/Q resolution)
+DAC_BITS = 13  # paper: Table 2 (13-bit TX DAC)
 
-MIN_TX_POWER_DBM = -14.0
-MAX_TX_POWER_DBM = 14.0
+MIN_TX_POWER_DBM = -14.0  # datasheet: AT86RF215, TXPWR field range
+MAX_TX_POWER_DBM = 14.0  # paper: Table 2 (14 dBm programmable PA)
 
-RX_POWER_W = 0.050
+RX_POWER_W = 0.050  # paper: Table 2 (50 mW receive power)
 """Receive-mode power draw (paper Table 2: 50 mW)."""
 
-SLEEP_POWER_W = 30e-9
+SLEEP_POWER_W = 30e-9  # datasheet: AT86RF215, DEEP_SLEEP current
 """Deep-sleep draw of the radio chip itself (sub-microamp)."""
 
-TRXOFF_POWER_W = 0.0003
+TRXOFF_POWER_W = 0.0003  # datasheet: AT86RF215, TRXOFF supply current
 
-NOISE_FIGURE_DB = 4.0
+NOISE_FIGURE_DB = 4.0  # paper: section 3.1.1 (3-5 dB noise figure)
 """Paper: 'the RF front-end has a 3-5 dB noise figure'."""
 
-FREQUENCY_BANDS_HZ = (
+DEFAULT_FREQUENCY_HZ = 915_000_000  # paper: 915 MHz ISM band evaluation
+"""Default carrier: the 915 MHz ISM band used throughout the paper."""
+
+FREQUENCY_BANDS_HZ = (  # datasheet: AT86RF215, supported frequency ranges
     (389_500_000, 510_000_000),
     (779_000_000, 1_020_000_000),
     (2_400_000_000, 2_483_500_000),
 )
 
-# Table 4 of the paper.
-RADIO_SETUP_S = 1.2e-3
-TX_TO_RX_S = 45e-6
-RX_TO_TX_S = 11e-6
-FREQUENCY_SWITCH_S = 220e-6
+# Measured transition latencies, Table 4 of the paper.
+RADIO_SETUP_S = 1.2e-3  # paper: Table 4
+TX_TO_RX_S = 45e-6  # paper: Table 4
+RX_TO_TX_S = 11e-6  # paper: Table 4
+FREQUENCY_SWITCH_S = 220e-6  # paper: Table 4
 
 
 class RadioState(enum.Enum):
@@ -104,7 +107,7 @@ class At86Rf215:
             as the chip's automatic gain control does.
     """
 
-    def __init__(self, frequency_hz: float = 915_000_000,
+    def __init__(self, frequency_hz: float = DEFAULT_FREQUENCY_HZ,
                  agc_enabled: bool = True) -> None:
         self._check_frequency(frequency_hz)
         self.frequency_hz = frequency_hz

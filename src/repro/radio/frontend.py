@@ -56,6 +56,7 @@ class FrontendSpec:
     supply_v: float
 
 
+# datasheet: Skyworks SE2435L; paper: section 3.1.1 (900 MHz front end)
 SE2435L = FrontendSpec(
     name="SE2435L",
     band_hz=(860e6, 930e6),
@@ -70,6 +71,7 @@ SE2435L = FrontendSpec(
     supply_v=3.5,
 )
 
+# datasheet: Skyworks SKY66112-11; paper: section 3.1.1 (2.4 GHz front end)
 SKY66112 = FrontendSpec(
     name="SKY66112",
     band_hz=(2.4e9, 2.4835e9),

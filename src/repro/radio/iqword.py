@@ -26,13 +26,13 @@ import numpy as np
 from repro.dsp.fixedpoint import from_codes, to_codes
 from repro.errors import FramingError
 
-WORD_BITS = 32
-SAMPLE_BITS = 13
-I_SYNC = 0b10
-Q_SYNC = 0b01
-SYNC_BITS = 2
+WORD_BITS = 32  # paper: Fig. 4 (32-bit LVDS I/Q word)
+SAMPLE_BITS = 13  # paper: Fig. 4 (13-bit I and Q fields)
+I_SYNC = 0b10  # datasheet: AT86RF215, I/Q IF sync pattern
+Q_SYNC = 0b01  # datasheet: AT86RF215, I/Q IF sync pattern
+SYNC_BITS = 2  # paper: Fig. 4 (2-bit sync prefix per field)
 
-WORD_RATE_HZ = 4_000_000
+WORD_RATE_HZ = 4_000_000  # paper: section 3.1.1 (4 Mwords/s)
 """The radio outputs 32-bit words at 4 Mwords/s."""
 
 BIT_RATE_BPS = WORD_BITS * WORD_RATE_HZ

@@ -24,7 +24,7 @@ from repro.radio.iqword import (
     words_to_bits_reference,
 )
 
-LVDS_CLOCK_HZ = 64_000_000
+LVDS_CLOCK_HZ = 64_000_000  # paper: section 3.1.1 (64 MHz DDR LVDS clock)
 """Clock provided by the radio (RX) or FPGA PLL (TX)."""
 
 

@@ -22,25 +22,25 @@ from repro.errors import ConfigurationError, RadioError
 from repro.radio.at86rf215 import At86Rf215, RadioState
 
 # Register addresses (sub-GHz radio block, RF09_*).
-REG_STATE = 0x0102       # RF09_STATE
-REG_CMD = 0x0103         # RF09_CMD
-REG_CS = 0x0104          # RF09_CS (channel spacing)
-REG_CCF0L = 0x0105       # RF09_CCF0L (channel center freq low)
-REG_CCF0H = 0x0106       # RF09_CCF0H
-REG_CNL = 0x0107         # RF09_CNL (channel number low)
-REG_CNM = 0x0108         # RF09_CNM (channel number high + mode)
-REG_PAC = 0x0114         # RF09_PAC (PA control: power setting)
+REG_STATE = 0x0102       # datasheet: AT86RF215 register map, RF09_STATE
+REG_CMD = 0x0103         # datasheet: AT86RF215 register map, RF09_CMD
+REG_CS = 0x0104          # datasheet: AT86RF215, RF09_CS (channel spacing)
+REG_CCF0L = 0x0105       # datasheet: AT86RF215, RF09_CCF0L (center freq low)
+REG_CCF0H = 0x0106       # datasheet: AT86RF215, RF09_CCF0H
+REG_CNL = 0x0107         # datasheet: AT86RF215, RF09_CNL (channel num low)
+REG_CNM = 0x0108         # datasheet: AT86RF215, RF09_CNM (chan high + mode)
+REG_PAC = 0x0114         # datasheet: AT86RF215, RF09_PAC (PA control)
 
-# RF_CMD command codes (datasheet table 4-3).
-CMD_NOP = 0x0
-CMD_SLEEP = 0x1
-CMD_TRXOFF = 0x2
-CMD_TXPREP = 0x3
-CMD_TX = 0x4
-CMD_RX = 0x5
+# RF_CMD command codes.
+CMD_NOP = 0x0     # datasheet: AT86RF215, table 4-3
+CMD_SLEEP = 0x1   # datasheet: AT86RF215, table 4-3
+CMD_TRXOFF = 0x2  # datasheet: AT86RF215, table 4-3
+CMD_TXPREP = 0x3  # datasheet: AT86RF215, table 4-3
+CMD_TX = 0x4      # datasheet: AT86RF215, table 4-3
+CMD_RX = 0x5      # datasheet: AT86RF215, table 4-3
 
-# RF_STATE codes.
-STATE_CODES = {
+# RF_STATE codes (datasheet: AT86RF215, RF09_STATE field values).
+STATE_CODES = {  # datasheet: AT86RF215, RF09_STATE
     RadioState.SLEEP: 0x1,
     RadioState.TRXOFF: 0x2,
     RadioState.TXPREP: 0x3,
@@ -48,10 +48,10 @@ STATE_CODES = {
     RadioState.TX: 0x4,
 }
 
-CHANNEL_STEP_HZ = 25_000
+CHANNEL_STEP_HZ = 25_000  # datasheet: AT86RF215, fine-mode channel scheme
 """Fine-mode channel scheme: CCF0 counts 25 kHz steps."""
 
-PAC_TXPWR_MASK = 0x1F
+PAC_TXPWR_MASK = 0x1F  # datasheet: AT86RF215, RF09_PAC.TXPWR (5 bits)
 """5-bit TX power field: 0 = max (14 dBm), 31 = max attenuation."""
 
 

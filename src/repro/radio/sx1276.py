@@ -26,22 +26,22 @@ from repro.phy.lora.modulator import LoRaModulator
 from repro.phy.lora.params import LoRaParams
 from repro.units import noise_floor_dbm
 
-NOISE_FIGURE_DB = 6.0
+NOISE_FIGURE_DB = 6.0  # datasheet: SX1276, implied by sensitivity table
 """Effective SX1276 receiver noise figure implied by its sensitivity table."""
 
-MAX_TX_POWER_DBM = 14.0
-MIN_TX_POWER_DBM = -4.0
+MAX_TX_POWER_DBM = 14.0  # datasheet: SX1276, RFO pin output range
+MIN_TX_POWER_DBM = -4.0  # datasheet: SX1276, RFO pin output range
 
-RX_POWER_W = 0.0396
+RX_POWER_W = 0.0396  # datasheet: SX1276, ~12 mA RX at 3.3 V
 """RX supply current ~12 mA at 3.3 V."""
 
-SLEEP_POWER_W = 0.2e-6 * 3.3
+SLEEP_POWER_W = 0.2e-6 * 3.3  # datasheet: SX1276, 0.2 uA sleep current
 
-UNIT_COST_USD = 4.5
+UNIT_COST_USD = 4.5  # paper: section 3.1.2 ($4.50 backbone radio)
 
-# Demodulation SNR thresholds per spreading factor (Semtech datasheet,
+# Demodulation SNR thresholds per spreading factor (datasheet: SX1276,
 # table "LoRa modem sensitivity"): the SNR at which PER hits ~1 %.
-SNR_THRESHOLD_DB = {
+SNR_THRESHOLD_DB = {  # datasheet: SX1276, LoRa modem sensitivity table
     6: -5.0, 7: -7.5, 8: -10.0, 9: -12.5, 10: -15.0, 11: -17.5, 12: -20.0,
 }
 

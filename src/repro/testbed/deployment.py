@@ -69,10 +69,11 @@ class Deployment:
 
 
 def campus_deployment(num_nodes: int = TESTBED_SIZE, seed: int = 2020,
-                      frequency_hz: float = 915e6,
+                      frequency_hz: float = 915e6,  # units: Hz, 915 MHz ISM
                       max_radius_m: float = 1050.0,
                       exponent: float = 3.4,
-                      shadowing_sigma_db: float = 4.0) -> Deployment:
+                      shadowing_sigma_db: float = 4.0,
+                      rng: np.random.Generator | None = None) -> Deployment:
     """Generate a campus-scale deployment around an AP at the origin.
 
     Node distances follow a square-root-uniform radial draw (uniform
@@ -88,7 +89,8 @@ def campus_deployment(num_nodes: int = TESTBED_SIZE, seed: int = 2020,
     if max_radius_m <= 30.0:
         raise ConfigurationError(
             f"radius must exceed the 30 m keep-out, got {max_radius_m!r}")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     radii = 30.0 + (max_radius_m - 30.0) * np.sqrt(rng.random(num_nodes))
     angles = rng.random(num_nodes) * 2.0 * np.pi
     nodes = tuple(

@@ -1,0 +1,10 @@
+"""Fixture: REPRO003 true positives."""
+
+
+def corrupt(cache, key, build):
+    plan = cache.get_or_build(key, build)
+    plan[0] = 1.0
+    plan += 2.0
+    plan.setflags(write=True)
+    plan.fill(0.0)
+    return plan

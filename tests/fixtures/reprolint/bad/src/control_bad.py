@@ -1,0 +1,12 @@
+"""Fixture: REPRO007 true positives."""
+
+
+def risky(step):
+    try:
+        step()
+    except:
+        pass
+    try:
+        step()
+    except Exception:
+        pass

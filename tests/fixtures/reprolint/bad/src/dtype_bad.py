@@ -1,0 +1,10 @@
+"""Fixture: REPRO004 true positives."""
+
+import numpy as np
+
+
+def pack(values):
+    words = np.asarray(values, dtype=np.int64)
+    shifted = words << 3
+    narrow = (words + 1).astype(np.int16)
+    return shifted, narrow

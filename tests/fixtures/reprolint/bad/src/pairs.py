@@ -1,0 +1,13 @@
+"""Fixture: REPRO002 true positives."""
+
+
+def modulate(samples):
+    return samples
+
+
+def modulate_reference(samples):
+    return samples
+
+
+def orphan_reference(samples):
+    return samples

@@ -1,0 +1,5 @@
+"""Fixture: REPRO006 true positives."""
+
+SLEEP_CURRENT_A = 30e-6
+
+WAKE_LATENCY_S = 0.001

@@ -1,0 +1,13 @@
+"""Fixture: REPRO001 true positives."""
+
+import random
+
+import numpy as np
+from numpy.random import normal
+
+
+def noisy():
+    a = np.random.normal(0.0, 1.0)
+    b = np.random.default_rng()
+    c = random.random()
+    return a + b.random() + c + normal()

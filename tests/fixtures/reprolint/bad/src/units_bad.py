@@ -1,0 +1,6 @@
+"""Fixture: REPRO005 true positives."""
+
+
+def tune(radio):
+    radio.set_frequency(868_100_000)
+    return 2_440_000_000

@@ -1,0 +1,7 @@
+"""Fixture test corpus: exercises only the fast path, not the twin."""
+
+from pairs import modulate
+
+
+def check_modulate():
+    assert modulate([1]) == [1]

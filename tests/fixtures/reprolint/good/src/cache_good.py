@@ -1,0 +1,9 @@
+"""Fixture: REPRO003 true negatives."""
+
+
+def use(cache, key, build):
+    plan = cache.get_or_build(key, build)
+    private = plan.copy()
+    private[0] = 1.0
+    private.fill(2.0)
+    return private

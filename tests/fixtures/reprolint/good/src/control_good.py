@@ -1,0 +1,14 @@
+"""Fixture: REPRO007 true negatives."""
+
+import logging
+
+
+def careful(step):
+    try:
+        step()
+    except ValueError as exc:
+        logging.getLogger(__name__).warning("step failed: %s", exc)
+    try:
+        step()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc

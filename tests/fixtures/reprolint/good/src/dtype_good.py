@@ -1,0 +1,13 @@
+"""Fixture: REPRO004 true negatives."""
+
+import numpy as np
+
+MASK = 0x1FFF
+
+
+def pack(values):
+    words = np.asarray(values, dtype=np.int64)
+    shifted = (words & MASK) << 3
+    narrow = ((words + 1) & MASK).astype(np.int16)
+    widened = (words << 2).astype(np.int64)
+    return shifted, narrow, widened

@@ -1,0 +1,9 @@
+"""Fixture: REPRO002 true negatives."""
+
+
+def modulate(samples):
+    return samples
+
+
+def modulate_reference(samples):
+    return samples

@@ -1,0 +1,12 @@
+"""Fixture: REPRO006 true negatives."""
+
+SLEEP_CURRENT_A = 30e-6  # datasheet: AT86RF215, DEEP_SLEEP current
+
+# paper: Table 4 (measured latencies).
+WAKE_LATENCY_S = 0.001
+BOOT_LATENCY_S = 0.010
+
+TOTAL_LATENCY_S = WAKE_LATENCY_S + BOOT_LATENCY_S
+
+CAPACITY_MAH = 1000.0
+"""The evaluation cell (paper: section 6)."""

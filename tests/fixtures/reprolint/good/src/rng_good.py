@@ -1,0 +1,12 @@
+"""Fixture: REPRO001 true negatives."""
+
+from random import Random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def noisy(rng: np.random.Generator):
+    local = default_rng(1234)
+    legacy = Random(7)
+    return rng.normal() + local.random() + legacy.random()

@@ -1,0 +1,10 @@
+"""Fixture: REPRO005 true negatives."""
+
+CENTER_HZ = 868_100_000
+SCALE = 1_000_000
+
+
+def tune(radio):
+    radio.set_frequency(915_000_000)  # units: Hz, 915 MHz ISM band
+    mask = 0xFFFF_FFFF
+    return CENTER_HZ * 1e6 / SCALE + mask

@@ -1,0 +1,7 @@
+"""Fixture test corpus: co-exercises the pair, satisfying REPRO002."""
+
+from pairs import modulate, modulate_reference
+
+
+def check_parity():
+    assert modulate([1]) == modulate_reference([1])

@@ -1,0 +1,275 @@
+"""Engine-level tests: registry, config, baseline, suppressions, CLI."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import reporting
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cli import main
+from repro.analysis.config import LintConfig, apply_toml, load_config
+from repro.analysis.engine import (
+    FileRule,
+    Finding,
+    all_rules,
+    register,
+    run_analysis,
+)
+from repro.errors import ConfigurationError
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "reprolint"
+
+RULE_IDS = ("REPRO001", "REPRO002", "REPRO003", "REPRO004",
+            "REPRO005", "REPRO006", "REPRO007")
+
+
+# --- registry ---------------------------------------------------------------
+
+def test_registry_holds_the_seven_domain_rules():
+    rules = all_rules()
+    assert tuple(sorted(rules)) == RULE_IDS
+    for rule_id, cls in rules.items():
+        assert cls.rule_id == rule_id
+        assert cls.name
+        assert cls.description
+
+
+def test_register_rejects_duplicate_and_missing_ids():
+    class Duplicate(FileRule):
+        rule_id = "REPRO001"
+
+    with pytest.raises(ConfigurationError):
+        register(Duplicate)
+
+    class Anonymous(FileRule):
+        rule_id = ""
+
+    with pytest.raises(ConfigurationError):
+        register(Anonymous)
+
+
+# --- configuration ----------------------------------------------------------
+
+def test_apply_toml_overrides():
+    config = apply_toml(LintConfig(), {
+        "select": ["repro001", "REPRO005"],
+        "baseline": "custom_baseline.json",
+        "tests-path": "checks",
+        "exclude": ["src/generated/*"],
+        "units-threshold": 5000,
+        "scopes": {"repro004": ["src/hw/*.py"]},
+        "exempt": {"REPRO005": ["src/units.py"]},
+    })
+    assert config.select == frozenset({"REPRO001", "REPRO005"})
+    assert config.baseline_path == "custom_baseline.json"
+    assert config.tests_path == "checks"
+    assert config.exclude == ("src/generated/*",)
+    assert config.units_threshold == 5000.0
+    assert config.rule_scopes["REPRO004"] == ("src/hw/*.py",)
+    assert config.rule_exempt["REPRO005"] == ("src/units.py",)
+
+
+def test_apply_toml_rejects_unknown_keys_and_bad_types():
+    with pytest.raises(ConfigurationError):
+        apply_toml(LintConfig(), {"selects": ["REPRO001"]})
+    with pytest.raises(ConfigurationError):
+        apply_toml(LintConfig(), {"units-threshold": "high"})
+    with pytest.raises(ConfigurationError):
+        apply_toml(LintConfig(), {"scopes": ["not", "a", "table"]})
+    with pytest.raises(ConfigurationError):
+        apply_toml(LintConfig(), {"exempt": {"REPRO005": "src/units.py"}})
+
+
+def test_load_config_reads_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.reprolint]\nignore = ["repro006"]\nunits-threshold = 42.0\n',
+        encoding="utf-8")
+    config = load_config(tmp_path)
+    assert config.ignore == frozenset({"REPRO006"})
+    assert config.units_threshold == 42.0
+    assert not config.rule_enabled("REPRO006")
+    assert config.rule_enabled("REPRO005")
+
+
+def test_select_and_ignore_gate_rules():
+    config = LintConfig(select=frozenset({"REPRO001"}))
+    assert config.rule_enabled("REPRO001")
+    assert not config.rule_enabled("REPRO005")
+    config = LintConfig(ignore=frozenset({"REPRO001"}))
+    assert not config.rule_enabled("REPRO001")
+    assert config.rule_enabled("REPRO005")
+
+
+# --- baseline ---------------------------------------------------------------
+
+def _sample_findings():
+    return [
+        Finding("REPRO005", "src/a.py", 10, 4, "magic number 915000000.0"),
+        Finding("REPRO005", "src/a.py", 20, 4, "magic number 915000000.0"),
+        Finding("REPRO007", "src/b.py", 3, 0, "bare 'except:'"),
+    ]
+
+
+def test_baseline_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = _sample_findings()
+    write_baseline(path, findings)
+    counts = load_baseline(path)
+    assert counts[("REPRO005", "src/a.py", "magic number 915000000.0")] == 2
+    assert counts[("REPRO007", "src/b.py", "bare 'except:'")] == 1
+    result = apply_baseline(findings, counts)
+    assert result.new == []
+    assert len(result.baselined) == 3
+    assert result.stale == []
+
+
+def test_baseline_is_line_number_insensitive(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, _sample_findings())
+    drifted = [
+        Finding("REPRO005", "src/a.py", 99, 0, "magic number 915000000.0"),
+        Finding("REPRO005", "src/a.py", 120, 0, "magic number 915000000.0"),
+        Finding("REPRO007", "src/b.py", 7, 0, "bare 'except:'"),
+    ]
+    result = apply_baseline(drifted, load_baseline(path))
+    assert result.new == []
+
+
+def test_baseline_flags_new_and_stale():
+    counts = Counter({("REPRO007", "src/b.py", "bare 'except:'"): 1})
+    fresh = [Finding("REPRO001", "src/c.py", 1, 0, "unseeded default_rng()")]
+    result = apply_baseline(fresh, counts)
+    assert [f.rule_id for f in result.new] == ["REPRO001"]
+    assert result.stale == [("REPRO007", "src/b.py", "bare 'except:'")]
+
+
+def test_baseline_absorbs_up_to_count_only():
+    counts = Counter(
+        {("REPRO005", "src/a.py", "magic number 915000000.0"): 1})
+    result = apply_baseline(_sample_findings()[:2], counts)
+    assert len(result.baselined) == 1
+    assert len(result.new) == 1
+
+
+def test_load_baseline_missing_and_malformed(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == Counter()
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        load_baseline(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"version": 99, "findings": []}),
+                     encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        load_baseline(wrong)
+
+
+# --- inline suppressions ----------------------------------------------------
+
+def test_inline_suppressions(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text(
+        "def f():\n"
+        "    return 868_100_000  # reprolint: disable=REPRO005\n"
+        "def g():\n"
+        "    return 868_300_000  # reprolint: disable=all\n"
+        "def h():\n"
+        "    return 868_500_000\n",
+        encoding="utf-8")
+    findings = run_analysis(tmp_path, [src], LintConfig())
+    assert [(f.rule_id, f.line) for f in findings] == [("REPRO005", 6)]
+
+
+# --- reporting --------------------------------------------------------------
+
+def _result():
+    findings = _sample_findings()
+    return apply_baseline(
+        findings,
+        Counter({("REPRO007", "src/b.py", "bare 'except:'"): 2}))
+
+
+def test_render_text_lists_findings_and_summary():
+    text = reporting.render_text(_result())
+    assert "src/a.py:10:4: REPRO005" in text
+    assert "2 finding(s), 1 baselined" in text
+    assert "REPRO005=2" in text
+    assert "stale" in text
+
+
+def test_render_json_round_trips():
+    payload = json.loads(reporting.render_json(_result()))
+    assert payload["summary"] == {"new": 2, "baselined": 1, "stale": 1}
+    assert payload["findings"][0]["rule"] == "REPRO005"
+    assert payload["stale_baseline_entries"] == [
+        {"rule": "REPRO007", "path": "src/b.py", "message": "bare 'except:'"}]
+
+
+# --- CLI --------------------------------------------------------------------
+
+BAD_ROOT = FIXTURES / "bad"
+
+
+def _cli(*extra, root=BAD_ROOT, baseline=None):
+    argv = [str(root / "src"), "--root", str(root)]
+    if baseline is not None:
+        argv += ["--baseline", str(baseline)]
+    return main(argv + list(extra))
+
+
+def test_cli_exits_nonzero_on_findings(tmp_path, capsys):
+    assert _cli(baseline=tmp_path / "b.json") == 1
+    out = capsys.readouterr().out
+    assert "REPRO001" in out and "REPRO007" in out
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    baseline = tmp_path / "b.json"
+    assert _cli("--write-baseline", baseline=baseline) == 0
+    assert baseline.is_file()
+    assert _cli(baseline=baseline) == 0
+    assert _cli("--no-baseline", baseline=baseline) == 1
+    capsys.readouterr()
+
+
+def test_cli_select_restricts_rules(tmp_path, capsys):
+    assert _cli("--select", "repro007", baseline=tmp_path / "b.json") == 1
+    out = capsys.readouterr().out
+    assert "REPRO007" in out
+    assert "REPRO001" not in out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    assert _cli("--format", "json", baseline=tmp_path / "b.json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["new"] > 0
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULE_IDS:
+        assert rule_id in out
+
+
+def test_cli_errors_exit_2(tmp_path, capsys):
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json", encoding="utf-8")
+    assert _cli(baseline=broken) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_module_entry_point():
+    # python -m repro.analysis resolves to cli.main via __main__.
+    from repro.analysis import __main__  # noqa: F401
+    assert baseline_mod.BASELINE_VERSION == 1

@@ -1,0 +1,149 @@
+"""Runtime-sanitizer and plan-cache freeze-path tests.
+
+Covers the REPRO003 runtime half: the plan cache must freeze every
+array reachable through tuples, lists and dicts (the static rule cannot
+see dynamic build paths), and with ``REPRO_SANITIZE=1`` the wrapped
+``get_or_build`` must catch any value that escapes the freezer.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import (
+    ENV_VAR,
+    SanitizerError,
+    assert_frozen,
+    install,
+    install_from_env,
+    installed,
+    iter_arrays,
+    uninstall,
+)
+from repro.perf.cache import PlanCache
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture
+def cache():
+    return PlanCache(max_entries=8)
+
+
+@pytest.fixture
+def sanitizer():
+    install()
+    yield
+    uninstall()
+
+
+# --- freeze paths (satellite: repro.perf.cache audit) -----------------------
+
+def test_cache_freezes_bare_arrays(cache):
+    plan = cache.get_or_build("k", lambda: np.arange(4.0))
+    assert not plan.flags.writeable
+    with pytest.raises(ValueError):
+        plan[0] = 99.0
+
+
+def test_cache_freezes_arrays_inside_tuples_and_lists(cache):
+    plan = cache.get_or_build(
+        "k", lambda: (np.arange(3.0), [np.ones(2), np.zeros(2)]))
+    for array in iter_arrays(plan):
+        assert not array.flags.writeable
+
+
+def test_cache_freezes_dict_valued_plans(cache):
+    # Regression: _freeze originally skipped dict values, leaving
+    # structured plans ({"taps": ..., "window": ...}) writable.
+    plan = cache.get_or_build(
+        "k", lambda: {"taps": np.arange(5.0),
+                      "nested": {"window": np.ones(3)}})
+    assert not plan["taps"].flags.writeable
+    assert not plan["nested"]["window"].flags.writeable
+    with pytest.raises(ValueError):
+        plan["taps"][0] = 1.0
+
+
+def test_cached_hit_returns_the_same_frozen_plan(cache):
+    first = cache.get_or_build("k", lambda: np.arange(4.0))
+    second = cache.get_or_build("k", lambda: np.arange(4.0))
+    assert first is second
+    assert not second.flags.writeable
+
+
+# --- assert_frozen / iter_arrays --------------------------------------------
+
+def test_iter_arrays_reaches_common_containers():
+    a, b, c = np.zeros(1), np.zeros(2), np.zeros(3)
+    found = list(iter_arrays({"x": (a, [b]), "y": c, "z": "not an array"}))
+    assert {id(arr) for arr in found} == {id(a), id(b), id(c)}
+
+
+def test_assert_frozen_accepts_frozen_and_rejects_writable():
+    frozen = np.arange(3.0)
+    frozen.setflags(write=False)
+    assert_frozen({"plan": (frozen,)})
+    with pytest.raises(SanitizerError):
+        assert_frozen({"plan": (np.arange(3.0),)})
+
+
+# --- sanitizer install/uninstall --------------------------------------------
+
+def test_install_is_idempotent_and_reversible():
+    original = PlanCache.get_or_build
+    assert not installed()
+    install()
+    try:
+        assert installed()
+        wrapped = PlanCache.get_or_build
+        install()  # second install must not double-wrap
+        assert PlanCache.get_or_build is wrapped
+    finally:
+        uninstall()
+    assert not installed()
+    assert PlanCache.get_or_build is original
+    uninstall()  # no-op when not installed
+
+
+def test_sanitizer_passes_frozen_plans(cache, sanitizer):
+    plan = cache.get_or_build("k", lambda: {"taps": np.arange(4.0)})
+    assert not plan["taps"].flags.writeable
+
+
+def test_sanitizer_catches_writable_plan_escaping_the_freezer(
+        cache, sanitizer):
+    # Simulate a freezer bypass by planting a writable array directly in
+    # the cache's store: the next lookup must trip the sanitizer instead
+    # of handing out a corruptible shared plan.
+    cache._entries["evil"] = np.arange(4.0)
+    with pytest.raises(SanitizerError, match="writable array"):
+        cache.get_or_build("evil", lambda: np.arange(4.0))
+
+
+def test_install_from_env_requires_exactly_one():
+    assert not install_from_env({})
+    assert not install_from_env({ENV_VAR: "0"})
+    assert not installed()
+    try:
+        assert install_from_env({ENV_VAR: "1"})
+        assert installed()
+    finally:
+        uninstall()
+
+
+def test_env_var_activates_sanitizer_at_perf_import():
+    env = dict(os.environ, REPRO_SANITIZE="1",
+               PYTHONPATH=str(REPO_ROOT / "src"))
+    code = ("import repro.perf\n"
+            "from repro.analysis import sanitize\n"
+            "print(sanitize.installed())\n")
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, check=True)
+    assert proc.stdout.strip() == "True"

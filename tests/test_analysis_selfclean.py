@@ -1,0 +1,42 @@
+"""Self-gating test: the repo's own tree passes its own linter.
+
+This is the tier-1 enforcement of the reprolint invariants: ``src/``
+must produce zero non-baselined findings under the committed
+configuration, and the committed baseline must stay empty (every rule
+fully enforced, nothing grandfathered).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.cli import find_root, main
+from repro.analysis.config import load_config
+from repro.analysis.engine import run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_find_root_locates_pyproject():
+    assert find_root(REPO_ROOT / "src" / "repro") == REPO_ROOT
+
+
+def test_src_tree_is_lint_clean():
+    config = load_config(REPO_ROOT)
+    findings = run_analysis(REPO_ROOT, [REPO_ROOT / "src"], config)
+    baseline = load_baseline(REPO_ROOT / config.baseline_path)
+    result = apply_baseline(findings, baseline)
+    assert result.new == [], "\n".join(f.render() for f in result.new)
+    assert result.stale == []
+
+
+def test_committed_baseline_is_empty():
+    config = load_config(REPO_ROOT)
+    baseline = load_baseline(REPO_ROOT / config.baseline_path)
+    assert sum(baseline.values()) == 0
+
+
+def test_cli_gate_passes_on_repo(capsys):
+    assert main(["src", "--root", str(REPO_ROOT)]) == 0
+    capsys.readouterr()
