@@ -5,7 +5,8 @@ Times every sample/bit-level substrate the Fig. 6 pipelines run on — the
 alignment search, chirp generation, the radix-2 FFT, and the end-to-end
 LoRa mod -> channel -> demod chain — in items/second, for both the
 vectorized fast paths and the retained ``*_reference`` scalar
-implementations.  The report is written to ``BENCH_hotpath.json`` at the
+implementations.  A seeded OTA campaign entry additionally gates the
+timeline-backed event ledger in events/second.  The report is written to ``BENCH_hotpath.json`` at the
 repository root so the perf trajectory is tracked across PRs
 (``benchmarks/check_regression.py`` compares a fresh run against the
 committed baseline).
@@ -30,6 +31,8 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy as np
 
 from repro.channel.awgn import awgn
+from repro.fpga import generate_bitstream
+from repro.ota.ap import AccessPoint
 from repro.perf import cache
 from repro.perf.timing import ThroughputReport, measure_throughput
 from repro.phy.lora import LoRaDemodulator, LoRaModulator, LoRaParams
@@ -37,6 +40,7 @@ from repro.phy.lora.chirp import chirp_train, ideal_chirp_reference
 from repro.phy.lora.demodulator import SymbolDemodulator
 from repro.dsp.fft import Radix2Fft
 from repro.radio import iqword, lvds
+from repro.testbed import campus_deployment
 
 BENCH_PATH = REPO_ROOT / "BENCH_hotpath.json"
 
@@ -51,6 +55,10 @@ E2E_MODEMS = 4
 
 FAST_REPEATS = 5
 REFERENCE_REPEATS = 2
+
+CAMPAIGN_NODES = 4
+CAMPAIGN_IMAGE_BYTES = 16_384
+CAMPAIGN_REPEATS = 3
 
 
 def _bench_codec(report: ThroughputReport,
@@ -216,6 +224,34 @@ def _bench_symbol_demod(report: ThroughputReport,
         items, repeats=REFERENCE_REPEATS))
 
 
+def _bench_campaign(report: ThroughputReport) -> None:
+    """Timeline-backed OTA campaign simulation, in ledger events/second.
+
+    The whole campaign stack — stop-and-wait MAC, updater, access-point
+    scheduler — now routes every interval through the shared
+    ``repro.sim.Timeline`` ledger, so campaign wall time tracks how fast
+    events can be appended and replayed.  A fully seeded small campaign
+    keeps the event count deterministic across runs.
+    """
+    deployment = campus_deployment(num_nodes=CAMPAIGN_NODES,
+                                   max_radius_m=500.0, seed=6)
+    image = generate_bitstream(0.02, seed=17,
+                               size_bytes=CAMPAIGN_IMAGE_BYTES)
+
+    def run_campaign():
+        return AccessPoint(deployment, image).run_campaign(
+            np.random.default_rng(3))
+
+    campaign = run_campaign()
+    if campaign.success_count != CAMPAIGN_NODES:
+        raise AssertionError("benchmark campaign must fully succeed")
+    items = len(campaign.timeline)
+
+    report.add("ota_campaign", "fast", measure_throughput(
+        "ota_campaign.fast", run_campaign, items, unit="events",
+        repeats=CAMPAIGN_REPEATS))
+
+
 def collect_report(seed: int = 2020) -> ThroughputReport:
     """Run every hot-path benchmark and return the populated report."""
     rng = np.random.default_rng(seed)
@@ -226,6 +262,7 @@ def collect_report(seed: int = 2020) -> ThroughputReport:
     _bench_chirp(report, rng)
     _bench_fft(report, rng)
     _bench_symbol_demod(report, rng)
+    _bench_campaign(report)
     plan_cache_stats = _bench_lora_end_to_end(report, rng)
     report.metadata = {
         "python": platform.python_version(),

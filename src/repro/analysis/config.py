@@ -42,6 +42,14 @@ DEFAULT_UNITS_EXEMPT = (
     "*/repro/analysis/*",
 )
 
+#: Files the accounting rule (REPRO008) skips: the timeline ledger is
+#: the one place the simulation clock may legitimately accumulate, and
+#: the analysis package manipulates patterns, not simulated time.
+DEFAULT_ACCOUNTING_EXEMPT = (
+    "*/repro/sim/*",
+    "*/repro/analysis/*",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -85,6 +93,7 @@ def default_config() -> LintConfig:
         },
         rule_exempt={
             "REPRO005": DEFAULT_UNITS_EXEMPT,
+            "REPRO008": DEFAULT_ACCOUNTING_EXEMPT,
         })
 
 

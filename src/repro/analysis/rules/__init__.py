@@ -13,10 +13,12 @@ REPRO004  dtype-contracts       masks/casts explicit in quantized paths
 REPRO005  units-discipline      no magic frequency/time literals
 REPRO006  constant-provenance   component constants cite datasheet/paper
 REPRO007  no-swallowed-errors   no bare/blanket silent exception handlers
+REPRO008  accounting-discipline time/energy accumulate on the sim timeline
 ========  ====================  ==========================================
 """
 
 from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    accounting,
     cache_freeze,
     control,
     dtype,

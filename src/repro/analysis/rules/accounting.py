@@ -1,0 +1,101 @@
+"""REPRO008 — accounting discipline for simulated time and energy.
+
+The platform model keeps exactly one clock: the
+:class:`repro.sim.Timeline` ledger.  A private ``clock += airtime`` or
+``self.node_rx_time_s += dwell`` accumulator silently forks that clock —
+its totals drift from the trace exporters, can't be audited event by
+event, and reintroduce the float-associativity hazards the replay views
+were built to control.  Any code that needs to advance time or
+accumulate energy should ``record()`` an event and derive totals as a
+ledger view.
+
+Flagged: augmented ``+=`` (and the spelled-out ``x = x + ...`` form)
+whose target is named ``clock``/``clock_s``/``now_s`` or ends in
+``_time_s``/``_energy_j``.  The ledger internals under ``repro/sim/``
+are exempt — something has to move the real clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+_EXACT_NAMES = frozenset({"clock", "clock_s", "now_s"})
+_SUFFIXES = ("_time_s", "_energy_j")
+
+_HINT = ("record the interval as a repro.sim Timeline event and derive "
+         "the total as a ledger view")
+
+
+def _target_name(node: ast.expr) -> str | None:
+    """The terminal identifier of an assignment target, if simple."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_accounting_name(name: str | None) -> bool:
+    if name is None:
+        return False
+    return name in _EXACT_NAMES or name.endswith(_SUFFIXES)
+
+
+def _references_name(node: ast.expr, name: str) -> bool:
+    """Whether ``name`` appears as a Name or Attribute inside ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == name:
+            return True
+        if isinstance(child, ast.Attribute) and child.attr == name:
+            return True
+    return False
+
+
+@register
+class AccountingDisciplineRule(FileRule):
+    """Time/energy totals accumulate on the timeline, not in ``+=``."""
+
+    rule_id = "REPRO008"
+    name = "accounting-discipline"
+    description = ("simulated time/energy must accumulate on the "
+                   "repro.sim timeline, not in ad-hoc += counters")
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AugAssign):
+                if not isinstance(node.op, ast.Add):
+                    continue
+                name = _target_name(node.target)
+                if not _is_accounting_name(name):
+                    continue
+                yield Finding(
+                    rule_id=self.rule_id, path=ctx.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"ad-hoc accounting accumulator "
+                             f"'{name} += ...' bypasses the simulation "
+                             "timeline"),
+                    hint=_HINT)
+            elif isinstance(node, ast.Assign):
+                # The spelled-out accumulator: x = x + delta.
+                if len(node.targets) != 1:
+                    continue
+                name = _target_name(node.targets[0])
+                if not _is_accounting_name(name):
+                    continue
+                value = node.value
+                if not (isinstance(value, ast.BinOp)
+                        and isinstance(value.op, ast.Add)
+                        and _references_name(value, name)):
+                    continue
+                yield Finding(
+                    rule_id=self.rule_id, path=ctx.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"ad-hoc accounting accumulator "
+                             f"'{name} = {name} + ...' bypasses the "
+                             "simulation timeline"),
+                    hint=_HINT)

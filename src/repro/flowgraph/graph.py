@@ -147,18 +147,31 @@ class FlowGraph:
             raise ConfigurationError("flow graph contains a cycle")
         return order
 
-    def _inputs_for(self, block: Block) -> list[_Edge]:
-        edges = [e for e in self._edges
-                 if e.connection.destination is block]
-        edges.sort(key=lambda e: e.connection.destination_port)
-        return edges
+    def _adjacency(self) -> tuple[dict[int, list[_Edge]],
+                                  dict[int, list[_Edge]]]:
+        """Per-block input/output edge lists, from one scan of the edges.
 
-    def _deliver(self, block: Block, outputs: list[np.ndarray]) -> None:
+        The scheduler's inner loop runs once per block per iteration;
+        rescanning every edge there made ``run()``
+        O(iterations x blocks x edges).  Input lists come back sorted by
+        destination port, matching the ``work()`` input convention.
+        """
+        inputs: dict[int, list[_Edge]] = {id(b): [] for b in self._blocks}
+        outputs: dict[int, list[_Edge]] = {id(b): [] for b in self._blocks}
         for edge in self._edges:
-            if edge.connection.source is block:
-                chunk = outputs[edge.connection.source_port]
-                if chunk.size:
-                    edge.buffer = np.concatenate([edge.buffer, chunk])
+            outputs[id(edge.connection.source)].append(edge)
+            inputs[id(edge.connection.destination)].append(edge)
+        for edges in inputs.values():
+            edges.sort(key=lambda e: e.connection.destination_port)
+        return inputs, outputs
+
+    @staticmethod
+    def _deliver(out_edges: list[_Edge],
+                 outputs: list[np.ndarray]) -> None:
+        for edge in out_edges:
+            chunk = outputs[edge.connection.source_port]
+            if chunk.size:
+                edge.buffer = np.concatenate([edge.buffer, chunk])
 
     def run(self, max_iterations: int = 100_000) -> None:
         """Stream until every source is exhausted and buffers drain.
@@ -168,6 +181,7 @@ class FlowGraph:
                 (a block that never consumes its input).
         """
         order = self._validate()
+        in_edges, out_edges = self._adjacency()
         for block in order:
             block.start()
         sources = [b for b in order if b.num_inputs == 0]
@@ -182,10 +196,10 @@ class FlowGraph:
                     if outputs is None:
                         exhausted.add(id(block))
                         continue
-                    self._deliver(block, outputs)
+                    self._deliver(out_edges[id(block)], outputs)
                     progress = True
                     continue
-                edges = self._inputs_for(block)
+                edges = in_edges[id(block)]
                 # Single-input blocks wait for data; multi-input blocks
                 # run when anything arrives (they buffer internally), so
                 # an early-draining source cannot starve them.
@@ -199,7 +213,7 @@ class FlowGraph:
                     edge.buffer = np.zeros(0, dtype=np.complex128)
                 outputs = block.work(inputs)
                 if outputs is not None:
-                    self._deliver(block, outputs)
+                    self._deliver(out_edges[id(block)], outputs)
                 progress = True
             if not progress:
                 if len(exhausted) == len(sources):
@@ -210,12 +224,12 @@ class FlowGraph:
         for block in order:
             tail = block.finish()
             if tail is not None:
-                self._deliver(block, tail)
+                self._deliver(out_edges[id(block)], tail)
         # One final pass so sinks see flushed tails.
         for block in order:
             if block.num_inputs == 0:
                 continue
-            edges = self._inputs_for(block)
+            edges = in_edges[id(block)]
             if all(edge.buffer.size == 0 for edge in edges):
                 continue
             inputs = [edge.buffer for edge in edges]
@@ -223,4 +237,4 @@ class FlowGraph:
                 edge.buffer = np.zeros(0, dtype=np.complex128)
             outputs = block.work(inputs)
             if outputs is not None:
-                self._deliver(block, outputs)
+                self._deliver(out_edges[id(block)], outputs)

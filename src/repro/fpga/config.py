@@ -9,10 +9,15 @@ and its timing, which dominates tinySDR's 22 ms wake-up latency (Table 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, FpgaError
 from repro.fpga.bitstream import BITSTREAM_BYTES, bitstream_fingerprint
+from repro.power import profiles
+from repro.sim import FPGA_CONFIG, Timeline
+
+NODE_FPGA = "fpga"
+"""Timeline component name for the ECP5 fabric."""
 
 QUAD_SPI_CLOCK_HZ = 62_000_000  # paper: section 3.1.3 (62 MHz quad-SPI)
 QUAD_SPI_LANES = 4  # paper: section 3.1.3 (quad-SPI configuration port)
@@ -53,8 +58,20 @@ class FpgaConfigurator:
 
     configured: bool = False
     active_fingerprint: str | None = None
-    total_config_time_s: float = 0.0
-    config_count: int = 0
+    timeline: Timeline = field(default_factory=Timeline, repr=False,
+                               compare=False)
+
+    @property
+    def total_config_time_s(self) -> float:
+        """Cumulative configuration time, replayed from the ledger."""
+        return self.timeline.time_s(kinds={FPGA_CONFIG},
+                                    component=NODE_FPGA)
+
+    @property
+    def config_count(self) -> int:
+        """Boots performed, counted from the ledger."""
+        return self.timeline.count(kinds={FPGA_CONFIG},
+                                   component=NODE_FPGA)
 
     def program(self, bitstream: bytes) -> float:
         """Load a bitstream; returns the configuration time consumed.
@@ -67,8 +84,10 @@ class FpgaConfigurator:
         elapsed = programming_time_s(len(bitstream))
         self.configured = True
         self.active_fingerprint = bitstream_fingerprint(bitstream)
-        self.total_config_time_s += elapsed
-        self.config_count += 1
+        self.timeline.record(FPGA_CONFIG, NODE_FPGA,
+                             label=f"{len(bitstream)} B quad-SPI load",
+                             duration_s=elapsed,
+                             power_w=profiles.FPGA_STATIC_W)
         return elapsed
 
     def shutdown(self) -> None:

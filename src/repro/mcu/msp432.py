@@ -16,6 +16,10 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, MemoryError_
+from repro.sim import MCU_MODE, MCU_RUN, Timeline
+
+NODE_MCU = "mcu"
+"""Timeline component name for the MSP432."""
 
 SRAM_BYTES = 64 * 1024
 FLASH_BYTES = 256 * 1024
@@ -97,34 +101,46 @@ class MemoryBank:
 
 
 class Msp432:
-    """Behavioural MSP432 model: memory banks plus a power-mode timeline."""
+    """Behavioural MSP432 model: memory banks plus a power-mode timeline.
 
-    def __init__(self) -> None:
+    All time/energy state lives on a :class:`~repro.sim.Timeline`: every
+    :meth:`run` dwell is an ``mcu.run`` event at the current mode's
+    power, every :meth:`set_mode` a zero-duration ``mcu.mode`` marker,
+    and :meth:`energy_consumed_j` is a replayed view over the ledger.
+    """
+
+    def __init__(self, timeline: Timeline | None = None) -> None:
         self.sram = MemoryBank("sram", SRAM_BYTES)
         self.flash = MemoryBank("flash", FLASH_BYTES)
         self.mode = McuMode.ACTIVE
-        self.clock_s = 0.0
-        self._energy_j = 0.0
+        self.timeline = timeline if timeline is not None else Timeline()
+        self._since = self.timeline.checkpoint()
+        self._start_s = self.timeline.now_s
+
+    @property
+    def clock_s(self) -> float:
+        """Time this MCU has spent running, per the shared timeline."""
+        return self.timeline.now_s - self._start_s
 
     def set_mode(self, mode: McuMode) -> None:
         """Switch power mode (instantaneous; MSP432 wakes in ~10 us)."""
         self.mode = mode
+        self.timeline.record(MCU_MODE, NODE_MCU, label=mode.value)
 
     def run(self, duration_s: float) -> None:
-        """Advance time, accumulating energy at the current mode's power.
+        """Advance time, recording a dwell at the current mode's power.
 
         Raises:
             ConfigurationError: for negative durations.
         """
-        if duration_s < 0:
-            raise ConfigurationError(
-                f"duration must be >= 0, got {duration_s!r}")
-        self.clock_s += duration_s
-        self._energy_j += MODE_POWER_W[self.mode] * duration_s
+        self.timeline.record(MCU_RUN, NODE_MCU, label=self.mode.value,
+                             duration_s=duration_s,
+                             power_w=MODE_POWER_W[self.mode])
 
     def energy_consumed_j(self) -> float:
-        """Total energy drawn so far."""
-        return self._energy_j
+        """Total energy drawn so far (replayed from the ledger)."""
+        return self.timeline.energy_j(kinds={MCU_RUN}, component=NODE_MCU,
+                                      since=self._since)
 
     def power_w(self) -> float:
         """Instantaneous power in the current mode."""

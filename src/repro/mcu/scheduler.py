@@ -14,6 +14,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ConfigurationError
+from repro.sim import SCHEDULER_FIRE, Timeline
+
+SCHEDULER_COMPONENT = "scheduler"
+"""Timeline component name for fired scheduler events."""
 
 
 @dataclass(order=True)
@@ -32,11 +36,16 @@ class EventScheduler:
     timers are expressed.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, timeline: Timeline | None = None) -> None:
         self._queue: list[_Event] = []
         self._counter = itertools.count()
-        self.now_s = 0.0
+        self.timeline = timeline if timeline is not None else Timeline()
         self.fired: list[tuple[float, str]] = []
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time, per the shared timeline."""
+        return self.timeline.now_s
 
     def schedule_at(self, time_s: float, name: str,
                     action: Callable[["EventScheduler"], None]) -> None:
@@ -86,11 +95,16 @@ class EventScheduler:
                 raise ConfigurationError(
                     f"exceeded {max_events} events before {end_time_s}")
             event = heapq.heappop(self._queue)
-            self.now_s = event.time_s
+            if event.time_s > self.timeline.now_s:
+                self.timeline.advance_to(event.time_s)
+            self.timeline.record(SCHEDULER_FIRE, SCHEDULER_COMPONENT,
+                                 label=event.name, advance=False,
+                                 t_start_s=event.time_s)
             self.fired.append((event.time_s, event.name))
             event.action(self)
             count += 1
-        self.now_s = max(self.now_s, end_time_s)
+        if end_time_s > self.timeline.now_s:
+            self.timeline.advance_to(end_time_s)
         return count
 
     def pending(self) -> int:

@@ -14,14 +14,19 @@ to run inline), so campaign timelines are reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ConfigurationError, OtaError
 from repro.ota.mac import OtaLink, ProgrammingRequest
 from repro.ota.updater import OtaUpdater, UpdateReport
+from repro.power import profiles
+from repro.sim import OTA_REQUEST, OTA_RETRY_WAIT, OTA_SESSION, Timeline
 from repro.testbed.deployment import Deployment
+
+AP_RADIO = "ap_radio"
+"""Timeline component name for the access point's LoRa radio."""
 
 LISTEN_PERIOD_S = 60.0
 """Nodes 'periodically turn off the FPGA and switch ... to the backbone
@@ -57,22 +62,35 @@ class NodeSession:
 class CampaignTimeline:
     """Full AP-side campaign outcome.
 
+    The scalar fields are views replayed from the ``timeline`` ledger,
+    which carries the campaign announcement, every per-node session's
+    packet-level detail (merged in at the session's start time), the
+    retry waits, and one ``ota.session`` span per programmed node.
+
     Attributes:
         sessions: per-node scheduling and results.
         request_time_s: airtime spent announcing the campaign.
         total_time_s: campaign wall-clock from request to last session.
         retries: failed sessions that were re-attempted.
+        timeline: the campaign-wide event ledger.
     """
 
     sessions: tuple[NodeSession, ...]
     request_time_s: float
     total_time_s: float
     retries: int
+    timeline: Timeline | None = field(default=None, repr=False,
+                                      compare=False)
 
     @property
     def success_count(self) -> int:
         """Nodes programmed."""
         return sum(1 for s in self.sessions if s.succeeded)
+
+    def total_node_energy_j(self) -> float:
+        """Campaign-wide node-side energy, in session order."""
+        return sum(s.report.node_energy_j
+                   for s in self.sessions if s.report)
 
 
 class AccessPoint:
@@ -129,17 +147,32 @@ class AccessPoint:
         return wake_times
 
     def run_campaign(self, rng: np.random.Generator,
-                     is_fpga_image: bool = True) -> CampaignTimeline:
-        """Announce, then program every node at its slot, with retries."""
+                     is_fpga_image: bool = True,
+                     timeline: Timeline | None = None) -> CampaignTimeline:
+        """Announce, then program every node at its slot, with retries.
+
+        All campaign activity lands on ``timeline`` (a fresh one when
+        not supplied): the announcement airtime, each attempt's
+        packet-level events (recorded on a per-session sub-timeline and
+        merged in at the attempt's start), ``ota.retry`` waits for
+        failed attempts, and an ``ota.session`` span per success.  The
+        returned :class:`CampaignTimeline` scalars are replayed views
+        over that ledger.
+        """
         request = self.build_request(self.schedule(150.0))
         link = OtaLink()
-        request_airtime = link.airtime_s(request.wire_bytes)
+        timeline = timeline if timeline is not None else Timeline()
+        since = timeline.checkpoint()
+        timeline.record(
+            OTA_REQUEST, AP_RADIO,
+            label=f"announce {len(request.device_ids)} nodes",
+            duration_s=link.airtime_s(request.wire_bytes),
+            power_w=profiles.BACKBONE_TX_14DBM_W)
 
         sessions: list[NodeSession] = []
-        clock = request_airtime
-        retries = 0
         for node in self.deployment.nodes:
-            session = NodeSession(node_id=node.node_id, wake_time_s=clock)
+            session = NodeSession(node_id=node.node_id,
+                                  wake_time_s=timeline.now_s)
             for attempt in range(self.max_attempts):
                 session.attempts += 1
                 node_link = OtaLink(
@@ -148,20 +181,33 @@ class AccessPoint:
                     uplink_rssi_dbm=self.deployment.uplink_rssi_dbm(
                         node, rng))
                 updater = OtaUpdater()
+                attempt_start_s = timeline.now_s
+                attempt_timeline = Timeline()
                 try:
                     report = updater.update(self.image, node_link, rng,
-                                            is_fpga_image=is_fpga_image)
+                                            is_fpga_image=is_fpga_image,
+                                            timeline=attempt_timeline)
                 except OtaError:
                     # Wait for the node's next listen window, retry.
-                    retries += 1
-                    clock += LISTEN_PERIOD_S
+                    timeline.merge(attempt_timeline,
+                                   offset_s=attempt_start_s)
+                    timeline.record(
+                        OTA_RETRY_WAIT, AP_RADIO,
+                        label=f"node {node.node_id} attempt {attempt}",
+                        duration_s=LISTEN_PERIOD_S)
                     continue
+                timeline.merge(attempt_timeline, offset_s=attempt_start_s)
+                timeline.record(
+                    OTA_SESSION, AP_RADIO,
+                    label=f"node {node.node_id}",
+                    duration_s=report.total_time_s)
                 session.report = report
-                clock += report.total_time_s
                 break
             sessions.append(session)
         return CampaignTimeline(
             sessions=tuple(sessions),
-            request_time_s=request_airtime,
-            total_time_s=clock,
-            retries=retries)
+            request_time_s=timeline.time_s(kinds={OTA_REQUEST},
+                                           since=since),
+            total_time_s=timeline.time_s(since=since, advancing_only=True),
+            retries=timeline.count(kinds={OTA_RETRY_WAIT}, since=since),
+            timeline=timeline)

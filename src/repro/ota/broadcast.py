@@ -34,8 +34,9 @@ from repro.ota.mac import (
     OtaLink,
     fragment_image,
 )
-from repro.ota.updater import DECOMPRESS_BANDWIDTH_BPS
+from repro.ota.updater import DECOMPRESS_BANDWIDTH_BPS, NODE_MCU
 from repro.phy.lora.params import LoRaParams
+from repro.sim import MCU_DECOMPRESS, PACKET_TX, Timeline
 from repro.radio.sx1276 import packet_error_probability
 from repro.testbed.deployment import Deployment
 
@@ -83,14 +84,21 @@ class BroadcastReport:
     completed_nodes: int
     node_count: int
     per_node_energy_j: float
+    timeline: Timeline | None = field(default=None, repr=False,
+                                      compare=False)
 
 
 def simulate_broadcast_campaign(deployment: Deployment, image: bytes,
                                 rng: np.random.Generator,
                                 params: LoRaParams | None = None,
-                                max_rounds: int = MAX_ROUNDS
+                                max_rounds: int = MAX_ROUNDS,
+                                timeline: Timeline | None = None
                                 ) -> BroadcastReport:
     """Push one compressed image to every node via broadcast + NACK repair.
+
+    Fragment broadcasts, NACK slots and the final decompression all land
+    as events on ``timeline``; the report's wall-clock total is a replay
+    of those advancing events.
 
     Raises:
         OtaError: if any node remains incomplete after ``max_rounds``.
@@ -116,7 +124,8 @@ def simulate_broadcast_campaign(deployment: Deployment, image: bytes,
     fragment_airtime = link.airtime_s(8 + DATA_PAYLOAD_BYTES)
     nack_airtime = link.airtime_s(NACK_SLOT_BYTES)
 
-    total_time = 0.0
+    timeline = timeline if timeline is not None else Timeline()
+    since = timeline.checkpoint()
     broadcast_packets = 0
     nack_packets = 0
     to_send = list(range(len(fragments)))
@@ -127,7 +136,11 @@ def simulate_broadcast_campaign(deployment: Deployment, image: bytes,
         # Broadcast phase: every queued fragment goes out once.
         for fragment_index in to_send:
             broadcast_packets += 1
-            total_time += fragment_airtime
+            timeline.record(
+                PACKET_TX, "ap_radio",
+                label=f"broadcast seq={fragment_index} round={rounds}",
+                duration_s=fragment_airtime,
+                power_w=profiles.BACKBONE_TX_14DBM_W)
             wire = fragments[fragment_index].wire_bytes
             for node in nodes:
                 if fragment_index in node.received:
@@ -144,7 +157,11 @@ def simulate_broadcast_campaign(deployment: Deployment, image: bytes,
             missing = node.missing(len(fragments))
             if not missing:
                 continue
-            total_time += nack_airtime
+            timeline.record(
+                PACKET_TX, "node_radio",
+                label=f"nack node={node.node_id} round={rounds}",
+                duration_s=nack_airtime,
+                power_w=profiles.BACKBONE_TX_14DBM_W)
             nack_packets += 1
             per = packet_error_probability(
                 params, node.uplink_rssi_dbm + float(rng.normal(0.0, 2.0)),
@@ -168,8 +185,12 @@ def simulate_broadcast_campaign(deployment: Deployment, image: bytes,
         raise OtaError(
             f"nodes {incomplete} incomplete after {rounds} rounds")
 
-    decompress_time = len(image) * 8 / DECOMPRESS_BANDWIDTH_BPS
-    total_time += decompress_time
+    timeline.record(
+        MCU_DECOMPRESS, NODE_MCU,
+        label=f"{len(image)} bytes",
+        duration_s=len(image) * 8 / DECOMPRESS_BANDWIDTH_BPS,
+        power_w=profiles.MCU_ACTIVE_W)
+    total_time = timeline.time_s(since=since, advancing_only=True)
     per_node_energy = (total_time * profiles.BACKBONE_RX_W
                        + rounds * nack_airtime * profiles.BACKBONE_TX_14DBM_W
                        + total_time * profiles.MCU_ACTIVE_W)
@@ -181,4 +202,5 @@ def simulate_broadcast_campaign(deployment: Deployment, image: bytes,
         nack_packets=nack_packets,
         completed_nodes=len(nodes) - len(incomplete),
         node_count=len(nodes),
-        per_node_energy_j=per_node_energy)
+        per_node_energy_j=per_node_energy,
+        timeline=timeline)

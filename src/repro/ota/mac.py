@@ -19,12 +19,27 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.errors import ProtocolError
 from repro.phy.lora.params import LoRaParams
+from repro.power import profiles
 from repro.radio.sx1276 import packet_error_probability
+from repro.sim import (
+    CONTROL_RX,
+    CONTROL_TX,
+    OTA_FAILURE,
+    PACKET_DELIVERED,
+    PACKET_RX,
+    PACKET_TIMEOUT,
+    PACKET_TX,
+    Timeline,
+)
+
+NODE_RADIO = "node_radio"
+"""Timeline component name for the node's backbone (SX1276) radio."""
 
 DATA_PAYLOAD_BYTES = 60
 """'packets of 60 B ... balances protocol overhead versus range'.  This
@@ -224,6 +239,11 @@ class OtaLink:
 class TransferReport:
     """Outcome of one firmware transfer session.
 
+    Every numeric field is a *view* over the session's
+    :class:`~repro.sim.Timeline` ledger, materialized when the session
+    ends (see :func:`transfer_report_from_timeline`); nothing here is
+    accumulated by hand.
+
     Attributes:
         duration_s: total session time including retransmissions.
         packets_sent: data packets transmitted (with retries).
@@ -232,6 +252,7 @@ class TransferReport:
         node_rx_time_s: time the node's backbone radio spent receiving.
         node_tx_time_s: time the node spent transmitting ACKs.
         failed: the session aborted (a fragment exhausted its retries).
+        timeline: the ledger the totals were derived from.
     """
 
     duration_s: float = 0.0
@@ -242,60 +263,152 @@ class TransferReport:
     node_tx_time_s: float = 0.0
     failed: bool = False
     events: list[str] = field(default_factory=list)
+    timeline: Timeline | None = field(default=None, repr=False, compare=False)
+
+
+#: Per-attempt link supplier for the shared ARQ loop: receives the
+#: current sim time, the fragment and the attempt index, returns the
+#: link conditions for this transmission attempt.
+LinkForAttempt = Callable[[float, DataPacket, int], OtaLink]
+
+
+def run_stop_and_wait(fragments: list[DataPacket],
+                      rng: np.random.Generator,
+                      timeline: Timeline,
+                      link_for_attempt: LinkForAttempt,
+                      component: str = NODE_RADIO) -> DataPacket | None:
+    """The stop-and-wait ARQ data phase, emitting events onto a timeline.
+
+    For every fragment: transmit (node receives for the data airtime),
+    wait for the ACK (node transmits), and on either loss burn the ACK
+    timeout and retry — up to :data:`MAX_ATTEMPTS_PER_PACKET` rounds.
+    This single loop serves both the fixed-link transfer
+    (:func:`simulate_transfer`) and the mobile-node variant
+    (:func:`repro.testbed.mobility.simulate_mobile_transfer`), which
+    re-derives the link before every attempt via ``link_for_attempt``.
+
+    Returns:
+        ``None`` when every fragment was delivered, else the fragment
+        that exhausted its attempts (the timeline then carries an
+        ``ota.failure`` marker).
+    """
+    for fragment in fragments:
+        delivered = False
+        for attempt in range(MAX_ATTEMPTS_PER_PACKET):
+            link = link_for_attempt(timeline.now_s, fragment, attempt)
+            data_airtime = link.airtime_s(fragment.wire_bytes)
+            ack_airtime = link.airtime_s(ACK_BYTES)
+            timeline.record(
+                PACKET_RX, component,
+                label=f"data seq={fragment.sequence} attempt={attempt}",
+                duration_s=data_airtime, power_w=profiles.BACKBONE_RX_W)
+            if not link.packet_success(fragment.wire_bytes, uplink=False,
+                                       rng=rng):
+                timeline.record(
+                    PACKET_TIMEOUT, component,
+                    label=f"data seq={fragment.sequence} lost",
+                    duration_s=ACK_TIMEOUT_S,
+                    power_w=profiles.BACKBONE_RX_W)
+                continue
+            timeline.record(
+                PACKET_TX, component,
+                label=f"ack seq={fragment.sequence}",
+                duration_s=ack_airtime,
+                power_w=profiles.BACKBONE_TX_14DBM_W)
+            if link.packet_success(ACK_BYTES, uplink=True, rng=rng):
+                delivered = True
+                timeline.record(PACKET_DELIVERED, component,
+                                label=f"seq={fragment.sequence}")
+                break
+            timeline.record(
+                PACKET_TIMEOUT, component,
+                label=f"ack seq={fragment.sequence} lost",
+                duration_s=ACK_TIMEOUT_S, power_w=profiles.BACKBONE_RX_W)
+        if not delivered:
+            timeline.record(OTA_FAILURE, component,
+                            label=f"fragment {fragment.sequence} undeliverable")
+            return fragment
+    return None
+
+
+def transfer_report_from_timeline(timeline: Timeline, since: int,
+                                  failed: bool,
+                                  messages: list[str],
+                                  timeout_is_rx: bool = True,
+                                  component: str = NODE_RADIO
+                                  ) -> TransferReport:
+    """Materialize a :class:`TransferReport` from the ledger.
+
+    Totals are replayed from the events appended after ``since`` in
+    append order, phase by phase (ARQ loop, then control exchange), so
+    they are bit-identical to the sequential accumulators this view
+    replaced.  ``timeout_is_rx`` controls whether ACK-timeout dwells
+    charge the node's receive budget (they do on the fixed link; the
+    mobile-node model never did).
+    """
+    rx_kinds = {PACKET_RX, PACKET_TIMEOUT} if timeout_is_rx \
+        else {PACKET_RX}
+    node_rx = timeline.time_s(kinds=rx_kinds, component=component,
+                              since=since)
+    node_rx = node_rx + timeline.time_s(kinds={CONTROL_RX},
+                                        component=component, since=since)
+    node_tx = timeline.time_s(kinds={PACKET_TX}, component=component,
+                              since=since)
+    node_tx = node_tx + timeline.time_s(kinds={CONTROL_TX},
+                                        component=component, since=since)
+    packets_sent = timeline.count(kinds={PACKET_RX}, component=component,
+                                  since=since)
+    delivered = timeline.count(kinds={PACKET_DELIVERED},
+                               component=component, since=since)
+    fragments_attempted = delivered + (1 if failed else 0)
+    return TransferReport(
+        duration_s=timeline.time_s(since=since, advancing_only=True),
+        packets_sent=packets_sent,
+        packets_delivered=delivered,
+        retransmissions=packets_sent - fragments_attempted,
+        node_rx_time_s=node_rx,
+        node_tx_time_s=node_tx,
+        failed=failed,
+        events=messages,
+        timeline=timeline)
 
 
 def simulate_transfer(image: bytes, link: OtaLink,
                       rng: np.random.Generator,
-                      payload_bytes: int = DATA_PAYLOAD_BYTES) -> TransferReport:
+                      payload_bytes: int = DATA_PAYLOAD_BYTES,
+                      timeline: Timeline | None = None) -> TransferReport:
     """Run the stop-and-wait data phase of an OTA session over a link.
 
     Every fragment is transmitted until both the fragment (downlink) and
     its ACK (uplink) get through; each failed round costs the data
-    airtime plus the ACK timeout.
+    airtime plus the ACK timeout.  All radio activity is recorded as
+    events on ``timeline`` (a fresh one when not supplied); the returned
+    report is a view over that ledger.
 
     Raises:
         ProtocolError: for an empty image.
     """
     packets = fragment_image(image, payload_bytes)
-    report = TransferReport()
-    ack_airtime = link.airtime_s(ACK_BYTES)
-    for packet in packets:
-        data_airtime = link.airtime_s(packet.wire_bytes)
-        delivered = False
-        for attempt in range(MAX_ATTEMPTS_PER_PACKET):
-            report.packets_sent += 1
-            if attempt:
-                report.retransmissions += 1
-            report.duration_s += data_airtime
-            report.node_rx_time_s += data_airtime
-            data_ok = link.packet_success(packet.wire_bytes, uplink=False,
-                                          rng=rng)
-            if not data_ok:
-                report.duration_s += ACK_TIMEOUT_S
-                report.node_rx_time_s += ACK_TIMEOUT_S
-                continue
-            report.duration_s += ack_airtime
-            report.node_tx_time_s += ack_airtime
-            ack_ok = link.packet_success(ACK_BYTES, uplink=True, rng=rng)
-            if ack_ok:
-                delivered = True
-                break
-            report.duration_s += ACK_TIMEOUT_S
-            report.node_rx_time_s += ACK_TIMEOUT_S
-        if not delivered:
-            report.failed = True
-            report.events.append(
-                f"fragment {packet.sequence} exhausted "
-                f"{MAX_ATTEMPTS_PER_PACKET} attempts")
-            return report
-        report.packets_delivered += 1
+    timeline = timeline if timeline is not None else Timeline()
+    since = timeline.checkpoint()
+    lost = run_stop_and_wait(packets, rng, timeline,
+                             lambda now_s, fragment, attempt: link)
+    if lost is not None:
+        return transfer_report_from_timeline(
+            timeline, since, failed=True,
+            messages=[f"fragment {lost.sequence} exhausted "
+                      f"{MAX_ATTEMPTS_PER_PACKET} attempts"])
     # Control overhead: request + ready + end-of-update exchanges.
     request = ProgrammingRequest((1,), (0.0,), image_id=0)
-    report.duration_s += link.airtime_s(request.wire_bytes)
-    report.duration_s += link.airtime_s(ReadyMessage(1).wire_bytes)
-    report.duration_s += link.airtime_s(
-        EndOfUpdate(len(packets), crc32(image)).wire_bytes)
-    report.node_rx_time_s += link.airtime_s(request.wire_bytes) \
-        + link.airtime_s(EndOfUpdate(len(packets), crc32(image)).wire_bytes)
-    report.node_tx_time_s += link.airtime_s(ReadyMessage(1).wire_bytes)
-    return report
+    end = EndOfUpdate(len(packets), crc32(image))
+    timeline.record(CONTROL_RX, NODE_RADIO, label="programming request",
+                    duration_s=link.airtime_s(request.wire_bytes),
+                    power_w=profiles.BACKBONE_RX_W)
+    timeline.record(CONTROL_TX, NODE_RADIO, label="ready",
+                    duration_s=link.airtime_s(ReadyMessage(1).wire_bytes),
+                    power_w=profiles.BACKBONE_TX_14DBM_W)
+    timeline.record(CONTROL_RX, NODE_RADIO, label="end of update",
+                    duration_s=link.airtime_s(end.wire_bytes),
+                    power_w=profiles.BACKBONE_RX_W)
+    return transfer_report_from_timeline(timeline, since, failed=False,
+                                         messages=[])

@@ -12,13 +12,13 @@ session report carries the time and energy splits the paper's section
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import OtaError
-from repro.fpga.config import FpgaConfigurator
-from repro.mcu.msp432 import Msp432
+from repro.fpga.config import NODE_FPGA, FpgaConfigurator
+from repro.mcu.msp432 import NODE_MCU, Msp432
 from repro.ota.blocks import (
     BLOCK_BYTES,
     reassemble,
@@ -26,17 +26,40 @@ from repro.ota.blocks import (
     total_compressed_bytes,
 )
 from repro.ota.flash import FlashLayout, Mx25R6435F
-from repro.ota.mac import OtaLink, TransferReport, simulate_transfer
+from repro.ota.mac import (
+    NODE_RADIO,
+    OtaLink,
+    TransferReport,
+    simulate_transfer,
+)
 from repro.power import profiles
+from repro.sim import (
+    CONTROL_RX,
+    CONTROL_TX,
+    FLASH_BUSY,
+    FPGA_CONFIG,
+    MCU_DECOMPRESS,
+    PACKET_RX,
+    PACKET_TIMEOUT,
+    PACKET_TX,
+    Timeline,
+)
 
 DECOMPRESS_BANDWIDTH_BPS = 1.35e6 * 8
 """MSP432 miniLZO throughput, calibrated so a full 579 kB image
 decompresses in the paper's 'maximum of 450 ms'."""
 
+NODE_FLASH = "flash"
+"""Timeline component name for the node's external NOR flash."""
+
 
 @dataclass(frozen=True)
 class UpdateReport:
     """Everything one OTA session cost.
+
+    All time and energy fields are views derived from the session's
+    :class:`~repro.sim.Timeline` ledger (see
+    :func:`node_energy_from_timeline`), not hand-kept accumulators.
 
     Attributes:
         transfer: the MAC-level transfer report.
@@ -46,6 +69,7 @@ class UpdateReport:
         reconfigure_time_s: FPGA quad-SPI boot time (0 for MCU images).
         total_time_s: wall-clock session duration.
         node_energy_j: node-side energy (backbone radio + MCU + flash).
+        timeline: the ledger the session was recorded on.
     """
 
     transfer: TransferReport
@@ -55,6 +79,35 @@ class UpdateReport:
     reconfigure_time_s: float
     total_time_s: float
     node_energy_j: float
+    timeline: Timeline | None = field(default=None, repr=False,
+                                      compare=False)
+
+
+def node_energy_from_timeline(timeline: Timeline, since: int = 0,
+                              component: str = NODE_RADIO) -> float:
+    """Node-side session energy, derived entirely from the ledger.
+
+    Combines the radio receive/transmit dwells, the MCU-active time
+    (radio handling plus decompression) and the flash activity recorded
+    after ``since`` with the :mod:`repro.power.profiles` draw constants.
+    Each per-phase dwell is replayed from the ledger in append order, so
+    the result is bit-identical to the sequential accounting this
+    replaced.
+    """
+    rx_time = timeline.time_s(kinds={PACKET_RX, PACKET_TIMEOUT},
+                              component=component, since=since)
+    rx_time = rx_time + timeline.time_s(kinds={CONTROL_RX},
+                                        component=component, since=since)
+    tx_time = timeline.time_s(kinds={PACKET_TX}, component=component,
+                              since=since)
+    tx_time = tx_time + timeline.time_s(kinds={CONTROL_TX},
+                                        component=component, since=since)
+    decompress_time = timeline.time_s(kinds={MCU_DECOMPRESS}, since=since)
+    flash_energy = timeline.energy_j(kinds={FLASH_BUSY}, since=since)
+    rx = rx_time * profiles.BACKBONE_RX_W
+    tx = tx_time * profiles.BACKBONE_TX_14DBM_W
+    mcu = (rx_time + tx_time + decompress_time) * profiles.MCU_ACTIVE_W
+    return rx + tx + mcu + flash_energy
 
 
 class OtaUpdater:
@@ -71,7 +124,8 @@ class OtaUpdater:
     def update(self, image: bytes, link: OtaLink,
                rng: np.random.Generator,
                is_fpga_image: bool = True,
-               block_bytes: int = BLOCK_BYTES) -> UpdateReport:
+               block_bytes: int = BLOCK_BYTES,
+               timeline: Timeline | None = None) -> UpdateReport:
         """Run one full OTA session.
 
         Args:
@@ -81,18 +135,24 @@ class OtaUpdater:
             is_fpga_image: FPGA images end with a quad-SPI reconfigure;
                 MCU images end with a self-flash and reboot.
             block_bytes: compression block size.
+            timeline: ledger the session is recorded on (a fresh one
+                when not supplied).
 
         Raises:
             OtaError: if the transfer aborts or the installed image does
                 not verify against the original.
         """
+        timeline = timeline if timeline is not None else Timeline()
+        since = timeline.checkpoint()
+        session_start_s = timeline.now_s
         blocks = split_and_compress(image, block_bytes)
         wire_image = b"".join(block.header() + block.payload
                               for block in blocks)
         compressed_bytes = total_compressed_bytes(blocks)
         stats_before = self.flash.stats()
 
-        transfer = simulate_transfer(wire_image, link, rng)
+        transfer = simulate_transfer(wire_image, link, rng,
+                                     timeline=timeline)
         if transfer.failed:
             raise OtaError(
                 f"transfer aborted after {transfer.packets_sent} packets: "
@@ -108,35 +168,37 @@ class OtaUpdater:
                   else self.layout.mcu_offset)
         self.flash.write(target, recovered)
 
-        decompress_time = len(image) * 8 / DECOMPRESS_BANDWIDTH_BPS
-        reconfigure_time = 0.0
+        timeline.record(
+            MCU_DECOMPRESS, NODE_MCU,
+            label=f"{len(blocks)} blocks, {len(image)} bytes",
+            duration_s=len(image) * 8 / DECOMPRESS_BANDWIDTH_BPS,
+            power_w=profiles.MCU_ACTIVE_W)
         if is_fpga_image:
-            reconfigure_time = self.configurator.program(
-                self.flash.read(target, len(image)))
+            timeline.record(
+                FPGA_CONFIG, NODE_FPGA, label="quad-SPI boot",
+                duration_s=self.configurator.program(
+                    self.flash.read(target, len(image))),
+                power_w=profiles.FPGA_STATIC_W)
 
         stats_after = self.flash.stats()
-        flash_energy = stats_after.energy_j - stats_before.energy_j
         # Flash erase/program runs concurrently with the (far slower)
         # radio transfer - the paper writes each packet to flash as it
         # arrives - so flash busy time contributes energy but not
-        # wall-clock time.
-        total_time = transfer.duration_s + decompress_time + reconfigure_time
-        energy = self._node_energy_j(transfer, decompress_time, flash_energy)
+        # wall-clock time: a non-advancing event carrying the measured
+        # energy delta.
+        timeline.record(
+            FLASH_BUSY, NODE_FLASH, label="stage + install",
+            duration_s=stats_after.busy_time_s - stats_before.busy_time_s,
+            energy_override_j=stats_after.energy_j - stats_before.energy_j,
+            advance=False, t_start_s=session_start_s)
         return UpdateReport(
             transfer=transfer,
             compressed_bytes=compressed_bytes,
             raw_bytes=len(image),
-            decompress_time_s=decompress_time,
-            reconfigure_time_s=reconfigure_time,
-            total_time_s=total_time,
-            node_energy_j=energy)
-
-    @staticmethod
-    def _node_energy_j(transfer: TransferReport, decompress_time_s: float,
-                       flash_energy_j: float) -> float:
-        """Node-side energy: backbone radio, MCU and flash."""
-        rx = transfer.node_rx_time_s * profiles.BACKBONE_RX_W
-        tx = transfer.node_tx_time_s * profiles.BACKBONE_TX_14DBM_W
-        mcu = ((transfer.node_rx_time_s + transfer.node_tx_time_s
-                + decompress_time_s) * profiles.MCU_ACTIVE_W)
-        return rx + tx + mcu + flash_energy_j
+            decompress_time_s=timeline.time_s(kinds={MCU_DECOMPRESS},
+                                              since=since),
+            reconfigure_time_s=timeline.time_s(kinds={FPGA_CONFIG},
+                                               since=since),
+            total_time_s=timeline.time_s(since=since, advancing_only=True),
+            node_energy_j=node_energy_from_timeline(timeline, since=since),
+            timeline=timeline)

@@ -9,9 +9,13 @@ classic IoT wake-transmit-sleep cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.sim import METER_SEGMENT, Timeline
+
+METER_COMPONENT = "meter"
+"""Timeline component name for metered power segments."""
 
 
 @dataclass(frozen=True)
@@ -42,28 +46,50 @@ class TimelineSegment:
         return self.power_w * self.duration_s
 
 
-@dataclass
 class EnergyMeter:
-    """Accumulates timeline segments and reports totals."""
+    """Thin consumer of a simulation timeline.
 
-    segments: list[TimelineSegment] = field(default_factory=list)
+    Each recorded segment becomes a ``meter.segment`` event on the
+    underlying :class:`~repro.sim.Timeline`; every total is a replayed
+    view over the ledger rather than a running accumulator, so a meter
+    can share a timeline with the rest of the platform model and its
+    numbers stay consistent with the trace exporters.
+    """
+
+    def __init__(self, timeline: Timeline | None = None) -> None:
+        self.timeline = timeline if timeline is not None else Timeline()
+        self._since = self.timeline.checkpoint()
+
+    def _segment_events(self):
+        return (event for event in self.timeline.events[self._since:]
+                if event.kind == METER_SEGMENT)
+
+    @property
+    def segments(self) -> list[TimelineSegment]:
+        """The recorded segments, rebuilt from the ledger."""
+        return [TimelineSegment(event.label, event.power_w or 0.0,
+                                event.duration_s)
+                for event in self._segment_events()]
 
     def record(self, label: str, power_w: float,
                duration_s: float) -> TimelineSegment:
         """Append one segment and return it."""
         segment = TimelineSegment(label, power_w, duration_s)
-        self.segments.append(segment)
+        self.timeline.record(METER_SEGMENT, METER_COMPONENT, label=label,
+                             duration_s=duration_s, power_w=power_w)
         return segment
 
     @property
     def total_energy_j(self) -> float:
-        """Integrated energy."""
-        return sum(segment.energy_j for segment in self.segments)
+        """Integrated energy (replayed in append order)."""
+        return self.timeline.energy_j(kinds={METER_SEGMENT},
+                                      since=self._since)
 
     @property
     def total_time_s(self) -> float:
-        """Total timeline length."""
-        return sum(segment.duration_s for segment in self.segments)
+        """Total timeline length (replayed in append order)."""
+        return self.timeline.time_s(kinds={METER_SEGMENT},
+                                    since=self._since)
 
     @property
     def average_power_w(self) -> float:
@@ -79,9 +105,9 @@ class EnergyMeter:
     def by_label(self) -> dict[str, float]:
         """Energy totals grouped by segment label."""
         totals: dict[str, float] = {}
-        for segment in self.segments:
-            totals[segment.label] = totals.get(segment.label, 0.0) \
-                + segment.energy_j
+        for event in self._segment_events():
+            totals[event.label] = totals.get(event.label, 0.0) \
+                + event.energy_j
         return totals
 
 

@@ -27,6 +27,7 @@ import numpy as np
 from repro.dsp.filters import design_lowpass, filter_block
 from repro.dsp.fixedpoint import quantize_complex
 from repro.errors import ConfigurationError, RadioError
+from repro.sim import RADIO_MODE, Timeline
 
 SAMPLE_RATE_HZ = 4_000_000  # paper: Table 2 (4 MHz baseband sampling)
 ADC_BITS = 13  # paper: Table 2 (13-bit I/Q resolution)
@@ -60,6 +61,9 @@ RADIO_SETUP_S = 1.2e-3  # paper: Table 4
 TX_TO_RX_S = 45e-6  # paper: Table 4
 RX_TO_TX_S = 11e-6  # paper: Table 4
 FREQUENCY_SWITCH_S = 220e-6  # paper: Table 4
+
+IQ_RADIO = "iq_radio"
+"""Timeline component name for the AT86RF215 I/Q radio."""
 
 
 class RadioState(enum.Enum):
@@ -108,13 +112,15 @@ class At86Rf215:
     """
 
     def __init__(self, frequency_hz: float = DEFAULT_FREQUENCY_HZ,
-                 agc_enabled: bool = True) -> None:
+                 agc_enabled: bool = True,
+                 timeline: Timeline | None = None) -> None:
         self._check_frequency(frequency_hz)
         self.frequency_hz = frequency_hz
         self.agc_enabled = agc_enabled
         self.tx_power_dbm = 0.0
         self.state = RadioState.SLEEP
-        self.clock_s = 0.0
+        self.timeline = timeline if timeline is not None else Timeline()
+        self._start_s = self.timeline.now_s
         self.transitions: list[StateTransition] = [
             StateTransition(0.0, RadioState.SLEEP, frequency_hz)]
         self._anti_alias_taps = design_lowpass(
@@ -161,8 +167,17 @@ class At86Rf215:
 
     # -- state machine ---------------------------------------------------
 
+    @property
+    def clock_s(self) -> float:
+        """Time this radio has been running, per the shared timeline."""
+        return self.timeline.now_s - self._start_s
+
     def _advance(self, duration_s: float, new_state: RadioState) -> None:
-        self.clock_s += duration_s
+        self.timeline.record(
+            RADIO_MODE, IQ_RADIO,
+            label=f"{self.state.value}->{new_state.value}",
+            duration_s=duration_s,
+            power_w=self.state_power_w(self.state))
         self.state = new_state
         self.transitions.append(
             StateTransition(self.clock_s, new_state, self.frequency_hz))

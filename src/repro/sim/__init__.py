@@ -1,0 +1,82 @@
+"""Shared simulation timeline: one clock, one ledger, many views.
+
+Every number the paper reports — the Fig. 14 OTA programming CDFs, the
+Table 3 power breakdown, the Table 4 timings, the battery-lifetime
+claims — is an integral over a timeline of radio/MCU/FPGA state
+changes.  This package provides the single event-driven core those
+integrals are computed on:
+
+* :class:`~repro.sim.timeline.Timeline` — a monotonic simulation clock
+  plus an append-only ledger of typed :class:`~repro.sim.events.SimEvent`
+  records (radio mode switches, packet TX/RX/timeouts, MCU mode
+  transitions, FPGA configuration, flash activity, sleep intervals),
+  each carrying component, label, duration and power draw.
+* :mod:`repro.sim.trace` — JSONL and Chrome ``trace_event`` exporters
+  so a campaign can be inspected in a flame-graph viewer, plus the
+  JSONL reader that round-trips a ledger.
+
+The protocol, MCU, FPGA, power and testbed layers all emit events into
+a ``Timeline`` instead of keeping private ``clock +=`` accumulators;
+their reports are views derived from the ledger (see the parity tests
+in ``tests/test_sim_parity.py`` for the bit-exactness contract).
+"""
+
+from repro.sim.events import (
+    CONTROL_RX,
+    CONTROL_TX,
+    FLASH_BUSY,
+    FPGA_CONFIG,
+    MCU_DECOMPRESS,
+    MCU_MODE,
+    MCU_RUN,
+    METER_SEGMENT,
+    OTA_FAILURE,
+    OTA_REQUEST,
+    OTA_RETRY_WAIT,
+    OTA_SESSION,
+    PACKET_DELIVERED,
+    PACKET_RX,
+    PACKET_TIMEOUT,
+    PACKET_TX,
+    RADIO_MODE,
+    SCHEDULER_FIRE,
+    SLEEP,
+    SimEvent,
+)
+from repro.sim.timeline import Timeline
+from repro.sim.trace import (
+    from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "CONTROL_RX",
+    "CONTROL_TX",
+    "FLASH_BUSY",
+    "FPGA_CONFIG",
+    "MCU_DECOMPRESS",
+    "MCU_MODE",
+    "MCU_RUN",
+    "METER_SEGMENT",
+    "OTA_FAILURE",
+    "OTA_REQUEST",
+    "OTA_RETRY_WAIT",
+    "OTA_SESSION",
+    "PACKET_DELIVERED",
+    "PACKET_RX",
+    "PACKET_TIMEOUT",
+    "PACKET_TX",
+    "RADIO_MODE",
+    "SCHEDULER_FIRE",
+    "SLEEP",
+    "SimEvent",
+    "Timeline",
+    "from_jsonl",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

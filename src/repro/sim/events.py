@@ -1,0 +1,140 @@
+"""Typed simulation events: the rows of the timeline ledger.
+
+Event *kinds* form a small closed taxonomy (dotted ``layer.action``
+strings) so views can select by behaviour class without string
+matching on free-text labels.  The taxonomy mirrors the state changes
+the paper's evaluation integrates over:
+
+==================  =====================================================
+kind                meaning
+==================  =====================================================
+``radio.mode``      transceiver state switch (sleep/TRXOFF/RX/TX dwell)
+``packet.tx``       one packet transmission (ACKs, NACKs, uplink data)
+``packet.rx``       one packet reception (firmware fragments, downlink)
+``packet.timeout``  an ACK-or-data wait that expired
+``packet.done``     zero-duration marker: a fragment was delivered
+``control.tx``      protocol control message sent (ready message)
+``control.rx``      protocol control message received (request, end)
+``mcu.mode``        MCU power-mode transition (zero-duration marker)
+``mcu.run``         MCU dwell in its current mode
+``mcu.decompress``  node-side miniLZO block decompression
+``fpga.config``     quad-SPI bitstream load / fabric boot
+``flash.busy``      external flash erase/program activity (concurrent)
+``sleep``           duty-cycle sleep interval
+``meter.segment``   a constant-power :class:`EnergyMeter` segment
+``scheduler.fire``  a discrete-event scheduler action ran
+``ota.request``     AP campaign announcement airtime
+``ota.session``     one node's whole programming session (span)
+``ota.retry``       AP waiting out a node's next listen window
+``ota.failure``     zero-duration marker: a session or fragment died
+==================  =====================================================
+
+Events carry an optional ``power_w`` so energy falls out of the ledger
+as ``power x duration``; activities whose energy is not a constant-power
+integral (flash erase/program mixes) store an explicit
+``energy_override_j`` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+RADIO_MODE = "radio.mode"
+PACKET_TX = "packet.tx"
+PACKET_RX = "packet.rx"
+PACKET_TIMEOUT = "packet.timeout"
+PACKET_DELIVERED = "packet.done"
+CONTROL_TX = "control.tx"
+CONTROL_RX = "control.rx"
+MCU_MODE = "mcu.mode"
+MCU_RUN = "mcu.run"
+MCU_DECOMPRESS = "mcu.decompress"
+FPGA_CONFIG = "fpga.config"
+FLASH_BUSY = "flash.busy"
+SLEEP = "sleep"
+METER_SEGMENT = "meter.segment"
+SCHEDULER_FIRE = "scheduler.fire"
+OTA_REQUEST = "ota.request"
+OTA_SESSION = "ota.session"
+OTA_RETRY_WAIT = "ota.retry"
+OTA_FAILURE = "ota.failure"
+
+#: Every kind the ledger understands, for validation and docs.
+ALL_KINDS = frozenset({
+    RADIO_MODE, PACKET_TX, PACKET_RX, PACKET_TIMEOUT, PACKET_DELIVERED,
+    CONTROL_TX, CONTROL_RX, MCU_MODE, MCU_RUN, MCU_DECOMPRESS,
+    FPGA_CONFIG, FLASH_BUSY, SLEEP, METER_SEGMENT, SCHEDULER_FIRE,
+    OTA_REQUEST, OTA_SESSION, OTA_RETRY_WAIT, OTA_FAILURE,
+})
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One ledger row: a typed state interval on the simulation timeline.
+
+    Attributes:
+        t_start_s: absolute simulation time the interval begins.
+        duration_s: interval length (zero for instantaneous markers).
+        kind: taxonomy tag, one of the module-level kind constants.
+        component: which hardware block the interval belongs to
+            (``"node_radio"``, ``"mcu"``, ``"fpga"``, ``"flash"``...).
+        label: free-text detail (``"data seq=3"``, ``"lpm3"``...).
+        power_w: power draw across the interval, if constant.
+        energy_override_j: explicit energy for activities that are not
+            constant-power integrals (takes precedence over ``power_w``).
+        advanced: whether recording this event moved the shared clock
+            (``False`` for concurrent/background activity and for
+            events merged in from a sub-timeline).
+    """
+
+    t_start_s: float
+    duration_s: float
+    kind: str
+    component: str
+    label: str = ""
+    power_w: float | None = None
+    energy_override_j: float | None = None
+    advanced: bool = True
+
+    def __post_init__(self) -> None:
+        if self.t_start_s < 0:
+            raise ConfigurationError(
+                f"event start must be >= 0, got {self.t_start_s!r}")
+        if self.duration_s < 0:
+            raise ConfigurationError(
+                f"duration must be >= 0, got {self.duration_s!r}")
+        if self.power_w is not None and self.power_w < 0:
+            raise ConfigurationError(
+                f"power must be >= 0, got {self.power_w!r}")
+        if not self.kind:
+            raise ConfigurationError("event kind must be non-empty")
+        if not self.component:
+            raise ConfigurationError("event component must be non-empty")
+
+    @property
+    def t_end_s(self) -> float:
+        """Absolute simulation time the interval ends."""
+        return self.t_start_s + self.duration_s
+
+    @property
+    def energy_j(self) -> float:
+        """Energy the interval consumed (0 when no power is attributed)."""
+        if self.energy_override_j is not None:
+            return self.energy_override_j
+        if self.power_w is None:
+            return 0.0
+        return self.power_w * self.duration_s
+
+    def shifted(self, offset_s: float) -> "SimEvent":
+        """A copy translated by ``offset_s``, marked as non-advancing."""
+        return SimEvent(
+            t_start_s=self.t_start_s + offset_s,
+            duration_s=self.duration_s,
+            kind=self.kind,
+            component=self.component,
+            label=self.label,
+            power_w=self.power_w,
+            energy_override_j=self.energy_override_j,
+            advanced=False)

@@ -17,13 +17,13 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.ota.mac import (
-    ACK_BYTES,
-    ACK_TIMEOUT_S,
-    MAX_ATTEMPTS_PER_PACKET,
     OtaLink,
     TransferReport,
     fragment_image,
+    run_stop_and_wait,
+    transfer_report_from_timeline,
 )
+from repro.sim import Timeline
 from repro.testbed.deployment import Deployment
 
 
@@ -94,53 +94,44 @@ class MobileTransferResult:
 
 def simulate_mobile_transfer(deployment: Deployment, path: MobilePath,
                              image: bytes, rng: np.random.Generator,
-                             tx_power_dbm: float = 14.0
+                             tx_power_dbm: float = 14.0,
+                             timeline: Timeline | None = None
                              ) -> MobileTransferResult:
     """Run the stop-and-wait OTA data phase against a moving node.
 
     The link RSSI is re-derived from the node's instantaneous position
-    before every transmission attempt.
+    before every transmission attempt: the shared ARQ loop
+    (:func:`repro.ota.mac.run_stop_and_wait`) asks the per-attempt link
+    callback for conditions at the current sim time, which is where the
+    RSSI trace is sampled.  Unlike the fixed-link transfer, ACK-timeout
+    dwells do not charge the node's receive budget (the mobile model
+    lets the node sleep through the timeout).
     """
     link_template = OtaLink()
     params = link_template.params
     fragments = fragment_image(image)
-    ack_airtime = link_template.airtime_s(ACK_BYTES)
-
-    report = TransferReport()
+    timeline = timeline if timeline is not None else Timeline()
+    since = timeline.checkpoint()
+    start_s = timeline.now_s
     trace: list[tuple[float, float]] = []
-    clock = 0.0
-    for fragment in fragments:
-        data_airtime = link_template.airtime_s(fragment.wire_bytes)
-        delivered = False
-        for attempt in range(MAX_ATTEMPTS_PER_PACKET):
-            distance = path.distance_to_origin_at(clock)
-            rssi = deployment.channel.received_power_dbm(
-                tx_power_dbm, max(distance, 1.0),
-                tx_gain_dbi=deployment.ap_antenna_gain_dbi)
-            link = OtaLink(params=params, downlink_rssi_dbm=rssi,
-                           uplink_rssi_dbm=rssi)
-            trace.append((clock, rssi))
-            report.packets_sent += 1
-            if attempt:
-                report.retransmissions += 1
-            clock += data_airtime
-            report.node_rx_time_s += data_airtime
-            if not link.packet_success(fragment.wire_bytes, uplink=False,
-                                       rng=rng):
-                clock += ACK_TIMEOUT_S
-                continue
-            clock += ack_airtime
-            report.node_tx_time_s += ack_airtime
-            if link.packet_success(ACK_BYTES, uplink=True, rng=rng):
-                delivered = True
-                break
-            clock += ACK_TIMEOUT_S
-        if not delivered:
-            report.failed = True
-            report.events.append(
-                f"fragment {fragment.sequence} lost while node at "
-                f"{path.distance_to_origin_at(clock):.0f} m")
-            break
-        report.packets_delivered += 1
-    report.duration_s = clock
+
+    def link_at(now_s, fragment, attempt):
+        elapsed_s = now_s - start_s
+        distance = path.distance_to_origin_at(elapsed_s)
+        rssi = deployment.channel.received_power_dbm(
+            tx_power_dbm, max(distance, 1.0),
+            tx_gain_dbi=deployment.ap_antenna_gain_dbi)
+        trace.append((elapsed_s, rssi))
+        return OtaLink(params=params, downlink_rssi_dbm=rssi,
+                       uplink_rssi_dbm=rssi)
+
+    lost = run_stop_and_wait(fragments, rng, timeline, link_at)
+    messages = []
+    if lost is not None:
+        messages.append(
+            f"fragment {lost.sequence} lost while node at "
+            f"{path.distance_to_origin_at(timeline.now_s - start_s):.0f} m")
+    report = transfer_report_from_timeline(
+        timeline, since, failed=lost is not None, messages=messages,
+        timeout_is_rx=False)
     return MobileTransferResult(report=report, rssi_trace=trace)

@@ -1,0 +1,20 @@
+"""Ad-hoc time/energy accumulators the accounting rule must flag."""
+
+
+def simulate(airtimes):
+    clock = 0.0
+    node_rx_time_s = 0.0
+    total_energy_j = 0.0
+    for airtime in airtimes:
+        clock += airtime
+        node_rx_time_s += airtime
+        total_energy_j = total_energy_j + airtime * 0.04
+    return clock, node_rx_time_s, total_energy_j
+
+
+class Meter:
+    def __init__(self):
+        self.busy_time_s = 0.0
+
+    def add(self, duration_s):
+        self.busy_time_s += duration_s

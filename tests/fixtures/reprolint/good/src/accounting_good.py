@@ -1,0 +1,8 @@
+"""Timeline-backed accounting: totals are ledger views, not counters."""
+
+
+def simulate(timeline, airtimes):
+    for airtime in airtimes:
+        timeline.record("packet.rx", "node_radio", duration_s=airtime,
+                        power_w=0.04)
+    return timeline.time_s(), timeline.energy_j()

@@ -1,4 +1,4 @@
-"""Golden-fixture tests for the seven reprolint rules.
+"""Golden-fixture tests for the eight reprolint rules.
 
 The fixtures under ``tests/fixtures/reprolint/`` form two miniature
 projects: ``bad`` contains one file per rule engineered to trip it at
@@ -44,6 +44,10 @@ EXPECTED_BAD = {
     ("REPRO006", "src/prov_bad.py", 5),
     ("REPRO007", "src/control_bad.py", 7),
     ("REPRO007", "src/control_bad.py", 11),
+    ("REPRO008", "src/accounting_bad.py", 9),
+    ("REPRO008", "src/accounting_bad.py", 10),
+    ("REPRO008", "src/accounting_bad.py", 11),
+    ("REPRO008", "src/accounting_bad.py", 20),
 }
 
 ALL_RULE_IDS = sorted({rule for rule, _, _ in EXPECTED_BAD})

@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "backscatter_reader.py",
     "localization_demo.py",
     "mobile_node.py",
+    "trace_campaign.py",
 ]
 
 SLOW_EXAMPLES = [
