@@ -3,11 +3,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint check bench-hotpath bench-check bench-paper
+.PHONY: test lint chaos check bench-hotpath bench-check bench-paper
 
 # Tier-1: the full unit/integration/property suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Chaos suite: 25+ seeded randomized fault plans against the hardened
+# OTA pipeline, asserting the robustness invariants hold under each.
+chaos:
+	$(PYTHON) -m pytest -q tests/test_chaos_ota.py
 
 # reprolint: the domain-aware static analyzer over src/ with the
 # committed baseline (see [tool.reprolint] in pyproject.toml).

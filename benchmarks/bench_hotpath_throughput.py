@@ -5,8 +5,10 @@ Times every sample/bit-level substrate the Fig. 6 pipelines run on — the
 alignment search, chirp generation, the radix-2 FFT, and the end-to-end
 LoRa mod -> channel -> demod chain — in items/second, for both the
 vectorized fast paths and the retained ``*_reference`` scalar
-implementations.  A seeded OTA campaign entry additionally gates the
-timeline-backed event ledger in events/second.  The report is written to ``BENCH_hotpath.json`` at the
+implementations.  Two seeded OTA campaign entries additionally gate the
+timeline-backed event ledger in events/second: a clean campaign and a
+hardened one under an everything-at-once fault plan (burst loss,
+corruption, flash faults, brownouts).  The report is written to ``BENCH_hotpath.json`` at the
 repository root so the perf trajectory is tracked across PRs
 (``benchmarks/check_regression.py`` compares a fresh run against the
 committed baseline).
@@ -31,8 +33,16 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy as np
 
 from repro.channel.awgn import awgn
+from repro.faults import (
+    BrownoutModel,
+    CorruptionModel,
+    FaultPlan,
+    FlashFaultModel,
+    GilbertElliott,
+)
 from repro.fpga import generate_bitstream
 from repro.ota.ap import AccessPoint
+from repro.ota.mac import RetryPolicy
 from repro.perf import cache
 from repro.perf.timing import ThroughputReport, measure_throughput
 from repro.phy.lora import LoRaDemodulator, LoRaModulator, LoRaParams
@@ -252,6 +262,45 @@ def _bench_campaign(report: ThroughputReport) -> None:
         repeats=CAMPAIGN_REPEATS))
 
 
+def _bench_campaign_faulty(report: ThroughputReport) -> None:
+    """Hardened OTA campaign under a seeded fault plan, in events/second.
+
+    Exercises the fault-injection hot loop on top of the campaign stack:
+    burst loss and corruption draws per packet, flash fault draws per
+    page program, checkpoint appends per fragment and the dual-bank
+    verify/boot path.  Everything is seeded, so the ledger size is
+    deterministic and the run is comparable across machines.
+    """
+    deployment = campus_deployment(num_nodes=CAMPAIGN_NODES,
+                                   max_radius_m=500.0, seed=6)
+    image = generate_bitstream(0.02, seed=17,
+                               size_bytes=CAMPAIGN_IMAGE_BYTES)
+    plan = FaultPlan(
+        seed=3,
+        burst_loss=GilbertElliott(seed=3, p_enter_bad=0.05,
+                                  p_exit_bad=0.4, loss_bad=0.6),
+        corruption=CorruptionModel(seed=3, per_packet_prob=0.01),
+        flash=FlashFaultModel(seed=3, page_failure_prob=0.001,
+                              stuck_bit_prob=0.001),
+        brownout=BrownoutModel(seed=3, prob_per_fragment=0.002))
+    policy = RetryPolicy(backoff="exponential", base_delay_s=0.25,
+                         max_delay_s=2.0)
+
+    def run_campaign():
+        return AccessPoint(deployment, image).run_campaign(
+            np.random.default_rng(3), faults=plan, policy=policy)
+
+    campaign = run_campaign()
+    if sum(campaign.outcome_counts().values()) != CAMPAIGN_NODES:
+        raise AssertionError(
+            "benchmark campaign must classify every node")
+    items = len(campaign.timeline)
+
+    report.add("ota_campaign_faulty", "fast", measure_throughput(
+        "ota_campaign_faulty.fast", run_campaign, items, unit="events",
+        repeats=CAMPAIGN_REPEATS))
+
+
 def collect_report(seed: int = 2020) -> ThroughputReport:
     """Run every hot-path benchmark and return the populated report."""
     rng = np.random.default_rng(seed)
@@ -263,6 +312,7 @@ def collect_report(seed: int = 2020) -> ThroughputReport:
     _bench_fft(report, rng)
     _bench_symbol_demod(report, rng)
     _bench_campaign(report)
+    _bench_campaign_faulty(report)
     plan_cache_stats = _bench_lora_end_to_end(report, rng)
     report.metadata = {
         "python": platform.python_version(),

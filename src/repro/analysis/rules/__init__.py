@@ -14,6 +14,7 @@ REPRO005  units-discipline      no magic frequency/time literals
 REPRO006  constant-provenance   component constants cite datasheet/paper
 REPRO007  no-swallowed-errors   no bare/blanket silent exception handlers
 REPRO008  accounting-discipline time/energy accumulate on the sim timeline
+REPRO009  fault-discipline      fault models constructed with explicit seeds
 ========  ====================  ==========================================
 """
 
@@ -22,6 +23,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     cache_freeze,
     control,
     dtype,
+    faultrng,
     parity,
     provenance,
     rng,

@@ -1,0 +1,82 @@
+"""REPRO009 — fault-discipline.
+
+Injected faults are part of the experiment configuration: a chaos run
+must be replayable from its seeds alone.  Every fault model in
+:mod:`repro.faults` therefore derives its draw streams from a required
+``seed`` argument.  Constructing a :class:`FaultPlan` or one of the
+fault models without an explicit ``seed`` (or a pre-built ``rng``)
+either fails at runtime or, worse in hand-rolled variants, silently
+falls back to OS entropy — making the "failure" unreproducible exactly
+when it matters most.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis import astutil
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+#: Constructors that must receive an explicit seed or rng keyword.
+_FAULT_CONSTRUCTORS = frozenset({
+    "FaultPlan",
+    "GilbertElliott",
+    "CorruptionModel",
+    "FlashFaultModel",
+    "BrownoutModel",
+    "ApOutageModel",
+    "HangModel",
+})
+
+#: Keywords that satisfy the discipline.
+_SEED_KEYWORDS = frozenset({"seed", "rng"})
+
+_HINT = ("pass seed=<int> (or a pre-seeded rng) so the injected faults "
+         "replay bit-identically from the run configuration")
+
+
+@register
+class FaultDisciplineRule(FileRule):
+    """Fault models must be constructed with an explicit seed."""
+
+    rule_id = "REPRO009"
+    name = "fault-discipline"
+    description = ("FaultPlan and fault-model constructors must take an "
+                   "explicit seed/rng keyword")
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        aliases = astutil.import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = astutil.canonical_name(node.func, aliases)
+            if canonical is None:
+                continue
+            tail = canonical.rpartition(".")[2]
+            if tail not in _FAULT_CONSTRUCTORS:
+                continue
+            # Only repro.faults constructors (or bare/star-imported uses)
+            # are in scope; an unrelated class sharing the name but
+            # imported from elsewhere is not.
+            if "." in canonical and not canonical.startswith("repro.faults"):
+                continue
+            if self._has_seed(node):
+                continue
+            yield Finding(
+                rule_id=self.rule_id, path=ctx.relpath,
+                line=node.lineno, col=node.col_offset,
+                message=(f"'{tail}' constructed without an explicit "
+                         "seed/rng keyword"),
+                hint=_HINT)
+
+    @staticmethod
+    def _has_seed(node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if keyword.arg is None:  # **kwargs splat: assume compliant
+                return True
+            if keyword.arg in _SEED_KEYWORDS:
+                return True
+        return False

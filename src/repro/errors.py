@@ -68,6 +68,34 @@ class CompressionError(OtaError):
     """miniLZO compression or decompression failed."""
 
 
+class FaultInjectionError(ReproError):
+    """A fault model was configured or driven inconsistently."""
+
+
+class WatchdogTimeoutError(ReproError):
+    """A watchdog deadline expired without a kick (the node hung)."""
+
+
+class BrownoutInterrupt(FaultInjectionError):
+    """Control-flow signal: the node browned out mid-transfer.
+
+    Carries the sequence number the node will resume from once it
+    reboots, so the hardened session can restart the transfer loop.
+    """
+
+    def __init__(self, next_sequence: int) -> None:
+        super().__init__(f"node brownout; resume from seq={next_sequence}")
+        self.next_sequence = next_sequence
+
+
+class RollbackError(OtaError):
+    """Falling back to the golden image failed (both banks corrupt)."""
+
+
+class TransferAbandonedError(OtaError):
+    """A node exhausted every retry/resume budget and was given up on."""
+
+
 class ProtocolError(ReproError):
     """A MAC/link protocol state machine received an invalid event."""
 

@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the OTA robustness harness.
+
+The package splits cleanly into *what can go wrong* and *doing it*:
+
+* :mod:`repro.faults.models` — frozen, seeded configuration dataclasses
+  for each fault class (Gilbert-Elliott burst loss, bit corruption,
+  flash page faults, brownouts, AP outages, MCU hangs).
+* :mod:`repro.faults.plan` — :class:`FaultPlan` bundles models for a
+  campaign; :meth:`FaultPlan.bind` yields a per-node :class:`NodeFaults`
+  injector whose hooks the hardened OTA pipeline polls, emitting a
+  ``fault.*`` :class:`~repro.sim.SimEvent` for every injected failure.
+* :mod:`repro.faults.hardware` — :class:`FaultyFlash`, an MX25R6435F
+  whose page programs occasionally fail or leave stuck bits.
+
+Reproducibility contract: every model takes an explicit keyword-only
+``seed`` (lint rule REPRO009), fault streams are independent
+``default_rng([seed, stream, node_id])`` generators, and a plan with the
+same seed injects bit-identical fault sequences regardless of node
+iteration order.  With ``faults=None`` the pipeline makes no fault draws
+at all, so default-path results stay bit-identical to the unhardened
+code (the ``tests/test_sim_parity.py`` contract).
+"""
+
+from repro.faults.models import (
+    ApOutageModel,
+    BrownoutModel,
+    BurstLossProcess,
+    CorruptionModel,
+    FlashFaultModel,
+    GilbertElliott,
+    HangModel,
+    spawn_rng,
+)
+from repro.faults.plan import FaultPlan, NodeFaults
+
+# Last: hardware transitively imports repro.ota, which imports the plan
+# and model names above right back out of this package.
+from repro.faults.hardware import FaultyFlash
+
+__all__ = [
+    "ApOutageModel",
+    "BrownoutModel",
+    "BurstLossProcess",
+    "CorruptionModel",
+    "FaultPlan",
+    "FaultyFlash",
+    "FlashFaultModel",
+    "GilbertElliott",
+    "HangModel",
+    "NodeFaults",
+    "spawn_rng",
+]

@@ -1,0 +1,213 @@
+"""Fault plans and the timeline-integrated per-node injector.
+
+A :class:`FaultPlan` bundles the optional fault models for one campaign
+run.  :meth:`FaultPlan.bind` derives a :class:`NodeFaults` injector for
+one node: the stateful per-node fault processes (seeded independently of
+the session RNG and of node iteration order) plus the hooks the hardened
+OTA pipeline polls.  Every injected fault is emitted as a namespaced
+``fault.*`` :class:`~repro.sim.SimEvent` on the bound timeline, so a
+trace shows exactly what was done to the system and when - separate from
+the ``ota.*`` events that show how the pipeline coped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.faults.models import (
+    ApOutageModel,
+    BrownoutModel,
+    BurstLossProcess,
+    CorruptionModel,
+    FlashFaultModel,
+    GilbertElliott,
+    HangModel,
+)
+from repro.sim import (
+    FAULT_BROWNOUT,
+    FAULT_CORRUPT,
+    FAULT_HANG,
+    FAULT_LOSS,
+    FAULT_OUTAGE,
+    Timeline,
+)
+
+
+@dataclass(frozen=True, kw_only=True)
+class FaultPlan:
+    """Everything that will go wrong in one campaign, fully seeded.
+
+    Attributes:
+        seed: plan-level randomness root, folded into every per-node
+            stream (keyword-only, required).
+        burst_loss: Gilbert-Elliott packet loss on the backbone link.
+        corruption: delivered-but-corrupt data packets.
+        flash: page-program failures / stuck bits in the node's flash.
+        brownout: node reboot mid-transfer.
+        ap_outage: AP downtime windows on the campaign clock.
+        hang: MCU hangs during install, cleared by the watchdog.
+    """
+
+    seed: int
+    burst_loss: GilbertElliott | None = None
+    corruption: CorruptionModel | None = None
+    flash: FlashFaultModel | None = None
+    brownout: BrownoutModel | None = None
+    ap_outage: ApOutageModel | None = None
+    hang: HangModel | None = None
+
+    def _fold(self, node_id: int) -> int:
+        """Mix the plan seed with a node id into one stream index."""
+        return int(np.random.SeedSequence([self.seed, node_id])
+                   .generate_state(1)[0])
+
+    def bind(self, node_id: int,
+             timeline: Timeline | None = None) -> "NodeFaults":
+        """The stateful per-node injector for ``node_id``.
+
+        The injector's fault streams are functions of ``(plan seed,
+        model seed, node id)`` only, so binding nodes in any order - or
+        rebinding the same node - reproduces identical fault sequences.
+        """
+        folded = self._fold(node_id)
+        return NodeFaults(self, node_id=folded, timeline=timeline)
+
+
+class NodeFaults:
+    """One node's fault processes, bound to a timeline for tracing.
+
+    The hardened OTA pipeline polls the ``*_now``/``*_lost`` hooks; each
+    hook draws from its own seeded stream and, when a fault fires,
+    records the matching ``fault.*`` event on :attr:`timeline` (when one
+    is attached).  ``injected`` counts fires per kind for assertions.
+    """
+
+    def __init__(self, plan: FaultPlan, node_id: int,
+                 timeline: Timeline | None = None) -> None:
+        self.plan = plan
+        self.node_id = node_id
+        self.timeline = timeline
+        self.time_offset_s = 0.0
+        self.injected: dict[str, int] = {}
+        self._loss: BurstLossProcess | None = (
+            plan.burst_loss.start(node_id) if plan.burst_loss else None)
+        self._corrupt_rng = (plan.corruption.start(node_id)
+                             if plan.corruption else None)
+        self._flash_rng = plan.flash.start(node_id) if plan.flash else None
+        self._brownout_rng = (plan.brownout.start(node_id)
+                              if plan.brownout else None)
+        self._hang_rng = plan.hang.start(node_id) if plan.hang else None
+        self._outage_windows = (plan.ap_outage.windows()
+                                if plan.ap_outage else ())
+
+    # -- timeline binding --------------------------------------------------
+
+    def attach(self, timeline: Timeline, offset_s: float = 0.0) -> None:
+        """Point fault events at (a new) ``timeline``.
+
+        ``offset_s`` maps the timeline's local clock onto the campaign
+        clock - AP outage windows are campaign-absolute, while per-node
+        session events are recorded on per-attempt sub-timelines that
+        start at zero.
+        """
+        self.timeline = timeline
+        self.time_offset_s = offset_s
+
+    def _emit(self, kind: str, label: str, duration_s: float = 0.0,
+              power_w: float | None = None) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        if self.timeline is not None:
+            self.timeline.record(kind, "faults", label=label,
+                                 duration_s=duration_s, power_w=power_w)
+
+    def campaign_now_s(self) -> float:
+        """Current campaign-absolute time per the bound timeline."""
+        local = self.timeline.now_s if self.timeline is not None else 0.0
+        return self.time_offset_s + local
+
+    # -- hooks polled by the hardened pipeline -----------------------------
+
+    def ap_down_now(self) -> bool:
+        """Whether the campaign clock currently sits in an outage window."""
+        now = self.campaign_now_s()
+        return any(start <= now < end for start, end in self._outage_windows)
+
+    def packet_lost(self, uplink: bool, label: str) -> bool:
+        """Forced packet loss: AP outage first, then the burst chain."""
+        if self._outage_windows and self.ap_down_now():
+            self._emit(FAULT_OUTAGE,
+                       f"{label} during AP outage")
+            return True
+        if self._loss is not None and self._loss.step():
+            direction = "uplink" if uplink else "downlink"
+            self._emit(FAULT_LOSS, f"{direction} {label} (burst state)")
+            return True
+        return False
+
+    def packet_corrupted(self, label: str) -> bool:
+        """Whether a delivered data packet arrives with corrupt bits."""
+        if self._corrupt_rng is None:
+            return False
+        if self._corrupt_rng.random() < self.plan.corruption.per_packet_prob:
+            self._emit(FAULT_CORRUPT, f"{label} corrupted in flight")
+            return True
+        return False
+
+    def brownout_now(self) -> bool:
+        """Whether the node browns out after the fragment it just ACKed.
+
+        A firing records the reboot dwell on the timeline (the node is
+        down for the model's ``reboot_time_s``).
+        """
+        if self._brownout_rng is None:
+            return False
+        model = self.plan.brownout
+        if self._brownout_rng.random() < model.prob_per_fragment:
+            self._emit(FAULT_BROWNOUT,
+                       f"node {self.node_id} brownout, "
+                       f"{model.reboot_time_s:g} s reboot",
+                       duration_s=model.reboot_time_s)
+            return True
+        return False
+
+    def hangs_now(self) -> bool:
+        """Whether the install phase of this session hangs the MCU."""
+        if self._hang_rng is None:
+            return False
+        if self._hang_rng.random() < self.plan.hang.hang_prob:
+            self._emit(FAULT_HANG, f"node {self.node_id} MCU hang")
+            return True
+        return False
+
+    def flash_page_failed(self) -> bool:
+        """Whether one page-program operation fails outright."""
+        if self._flash_rng is None:
+            return False
+        return bool(self._flash_rng.random()
+                    < self.plan.flash.page_failure_prob)
+
+    def flash_stuck_bit(self, page_bytes: int) -> int | None:
+        """A stuck bit index within a page-program, or None.
+
+        Returns a flat bit offset in ``[0, page_bytes * 8)`` when the
+        fault fires; the flash wrapper maps it onto the written bytes.
+        """
+        if self._flash_rng is None:
+            return None
+        if self._flash_rng.random() < self.plan.flash.stuck_bit_prob:
+            return int(self._flash_rng.integers(0, page_bytes * 8))
+        return None
+
+    def require_flash_model(self) -> FlashFaultModel:
+        """The flash model, for wiring a faulty flash wrapper.
+
+        Raises:
+            FaultInjectionError: when the plan has no flash model.
+        """
+        if self.plan.flash is None:
+            raise FaultInjectionError(
+                "this fault plan has no flash model to wire")
+        return self.plan.flash

@@ -11,9 +11,12 @@ from repro.mcu.msp432 import (
     firmware_footprint_report,
 )
 from repro.mcu.scheduler import EventScheduler
+from repro.mcu.watchdog import WATCHDOG_COMPONENT, Watchdog
 
 __all__ = [
     "EventScheduler",
+    "WATCHDOG_COMPONENT",
+    "Watchdog",
     "FLASH_BYTES",
     "MODE_POWER_W",
     "McuMode",

@@ -1,0 +1,84 @@
+"""Watchdog timer model: the last line of defence against MCU hangs.
+
+A hung node cannot be reflashed over the air - someone has to climb the
+light pole.  The hardened OTA path therefore arms a watchdog around the
+decompress/install phase: the firmware kicks it at every unit of
+progress, and a missed deadline fires a reset that reboots the node
+onto whatever image last verified (the golden image via
+:meth:`repro.ota.bank.FirmwareBanks.boot`).
+
+The model runs on the deterministic :class:`~repro.mcu.scheduler.\
+EventScheduler` using the re-arm pattern: each check event fires at the
+earliest possible deadline and, when a kick arrived in the meantime,
+re-schedules itself for the new deadline instead of resetting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.mcu.scheduler import EventScheduler
+from repro.sim import WATCHDOG_RESET
+
+WATCHDOG_COMPONENT = "watchdog"
+
+
+class Watchdog:
+    """A kick-or-reset deadline timer on the deterministic scheduler."""
+
+    def __init__(self, scheduler: EventScheduler, timeout_s: float,
+                 on_timeout: Callable[["Watchdog"], None] | None = None,
+                 name: str = "watchdog") -> None:
+        if timeout_s <= 0:
+            raise ConfigurationError(
+                f"watchdog timeout must be positive, got {timeout_s!r}")
+        self.scheduler = scheduler
+        self.timeout_s = timeout_s
+        self.on_timeout = on_timeout
+        self.name = name
+        self.armed = False
+        self.expired = False
+        self.resets = 0
+        self._last_kick_s = 0.0
+
+    def start(self) -> None:
+        """Arm the timer; the first deadline is one timeout from now."""
+        self.armed = True
+        self.expired = False
+        self._last_kick_s = self.scheduler.now_s
+        self._schedule_check(self._last_kick_s + self.timeout_s)
+
+    def kick(self) -> None:
+        """Feed the dog: pushes the deadline one timeout past now."""
+        self._last_kick_s = self.scheduler.now_s
+
+    def stop(self) -> None:
+        """Disarm; any in-flight check event becomes a no-op."""
+        self.armed = False
+
+    @property
+    def deadline_s(self) -> float:
+        """Absolute time the dog bites unless kicked again."""
+        return self._last_kick_s + self.timeout_s
+
+    def _schedule_check(self, at_s: float) -> None:
+        self.scheduler.schedule_at(at_s, f"{self.name} deadline check",
+                                   self._check)
+
+    def _check(self, scheduler: EventScheduler) -> None:
+        if not self.armed:
+            return
+        if scheduler.now_s < self.deadline_s:
+            # A kick moved the deadline - re-arm for the new one.
+            self._schedule_check(self.deadline_s)
+            return
+        self.armed = False
+        self.expired = True
+        self.resets += 1
+        scheduler.timeline.record(
+            WATCHDOG_RESET, WATCHDOG_COMPONENT,
+            label=f"{self.name} expired after {self.timeout_s:g} s "
+                  "without a kick")
+        if self.on_timeout is not None:
+            self.on_timeout(self)

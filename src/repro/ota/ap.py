@@ -18,8 +18,29 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError, OtaError
-from repro.ota.mac import OtaLink, ProgrammingRequest
+from repro.errors import (
+    ConfigurationError,
+    FaultInjectionError,
+    FlashError,
+    OtaError,
+    RollbackError,
+    TransferAbandonedError,
+    WatchdogTimeoutError,
+)
+# Imported from the submodule (not the repro.faults package) so that an
+# `import repro.faults` entry point - whose __init__ transitively pulls
+# in repro.ota - does not hit a partially-initialized package here.
+from repro.faults.plan import FaultPlan, NodeFaults
+from repro.ota.bank import FirmwareBanks
+from repro.ota.hardened import (
+    OUTCOME_ABANDONED,
+    OUTCOME_RESUMED,
+    OUTCOME_ROLLED_BACK,
+    OUTCOME_SUCCEEDED,
+    HardenedOtaSession,
+)
+from repro.ota.flash import Mx25R6435F
+from repro.ota.mac import OtaLink, ProgrammingRequest, RetryPolicy
 from repro.ota.updater import OtaUpdater, UpdateReport
 from repro.power import profiles
 from repro.sim import OTA_REQUEST, OTA_RETRY_WAIT, OTA_SESSION, Timeline
@@ -35,6 +56,13 @@ radio to listen for new firmware updates' - this is that period."""
 LISTEN_WINDOW_S = 2.0
 """How long each listen window stays open."""
 
+GOLDEN_IMAGE = bytes(range(256)) * 4
+"""Factory fallback firmware provisioned on every hardened node: 1 kB
+placeholder standing in for the minimal listen-for-updates image."""
+
+GOLDEN_IMAGE_ID = 0
+"""Trailer id of the factory image (campaign images start at 1)."""
+
 
 @dataclass
 class NodeSession:
@@ -45,17 +73,30 @@ class NodeSession:
         wake_time_s: when the node was told to wake for its update.
         attempts: sessions tried (first + retries).
         report: the successful session's report, if any.
+        outcome: hardened-campaign classification (one of the
+            ``OUTCOME_*`` constants; empty on the classic fast path).
+        resumes: transfers continued from a flash checkpoint.
+        rollbacks: boots that fell back to the golden image.
+        watchdog_resets: hangs the watchdog cleared.
+        errors: stringified per-attempt failures, in attempt order.
     """
 
     node_id: int
     wake_time_s: float
     attempts: int = 0
     report: UpdateReport | None = None
+    outcome: str = ""
+    resumes: int = 0
+    rollbacks: int = 0
+    watchdog_resets: int = 0
+    errors: list[str] = field(default_factory=list)
 
     @property
     def succeeded(self) -> bool:
-        """Whether the node was programmed."""
-        return self.report is not None
+        """Whether the node is running the new image."""
+        if self.report is None:
+            return False
+        return self.outcome in ("", OUTCOME_SUCCEEDED, OUTCOME_RESUMED)
 
 
 @dataclass(frozen=True)
@@ -86,6 +127,28 @@ class CampaignTimeline:
     def success_count(self) -> int:
         """Nodes programmed."""
         return sum(1 for s in self.sessions if s.succeeded)
+
+    def outcome_counts(self) -> dict[str, int]:
+        """Terminal classification per node (hardened campaigns).
+
+        Classic-path sessions (no ``outcome`` set) are mapped onto the
+        same buckets: report present -> succeeded, absent -> abandoned.
+        """
+        counts: dict[str, int] = {}
+        for session in self.sessions:
+            key = session.outcome or (
+                OUTCOME_SUCCEEDED if session.report is not None
+                else OUTCOME_ABANDONED)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    @property
+    def abandoned(self) -> tuple[NodeSession, ...]:
+        """Nodes the campaign gave up on (reported, never raised)."""
+        return tuple(s for s in self.sessions
+                     if (s.outcome or ("" if s.report is not None
+                                       else OUTCOME_ABANDONED))
+                     == OUTCOME_ABANDONED)
 
     def total_node_energy_j(self) -> float:
         """Campaign-wide node-side energy, in session order."""
@@ -148,7 +211,9 @@ class AccessPoint:
 
     def run_campaign(self, rng: np.random.Generator,
                      is_fpga_image: bool = True,
-                     timeline: Timeline | None = None) -> CampaignTimeline:
+                     timeline: Timeline | None = None,
+                     faults: FaultPlan | None = None,
+                     policy: RetryPolicy | None = None) -> CampaignTimeline:
         """Announce, then program every node at its slot, with retries.
 
         All campaign activity lands on ``timeline`` (a fresh one when
@@ -158,6 +223,14 @@ class AccessPoint:
         failed attempts, and an ``ota.session`` span per success.  The
         returned :class:`CampaignTimeline` scalars are replayed views
         over that ledger.
+
+        Passing ``faults`` and/or ``policy`` switches to the hardened
+        per-node pipeline (:class:`~repro.ota.hardened.\
+HardenedOtaSession`): nodes get dual-bank flash with a golden image,
+        resumable transfers and watchdog protection, and instead of a
+        campaign abort every node ends in a terminal ``outcome`` class -
+        succeeded, resumed, rolled back, or abandoned.  With both left
+        ``None`` the classic path runs bit-identically to before.
         """
         request = self.build_request(self.schedule(150.0))
         link = OtaLink()
@@ -168,6 +241,18 @@ class AccessPoint:
             label=f"announce {len(request.device_ids)} nodes",
             duration_s=link.airtime_s(request.wire_bytes),
             power_w=profiles.BACKBONE_TX_14DBM_W)
+
+        if faults is not None or policy is not None:
+            sessions = self._run_hardened_sessions(
+                rng, timeline, is_fpga_image, faults, policy)
+            return CampaignTimeline(
+                sessions=tuple(sessions),
+                request_time_s=timeline.time_s(kinds={OTA_REQUEST},
+                                               since=since),
+                total_time_s=timeline.time_s(since=since,
+                                             advancing_only=True),
+                retries=timeline.count(kinds={OTA_RETRY_WAIT}, since=since),
+                timeline=timeline)
 
         sessions: list[NodeSession] = []
         for node in self.deployment.nodes:
@@ -211,3 +296,105 @@ class AccessPoint:
             total_time_s=timeline.time_s(since=since, advancing_only=True),
             retries=timeline.count(kinds={OTA_RETRY_WAIT}, since=since),
             timeline=timeline)
+
+    def _provision_banks(self, injector: NodeFaults | None) -> FirmwareBanks:
+        """A node's dual-bank flash with the golden image pre-installed.
+
+        Provisioning happens with injection off - the factory programs
+        the golden image on the bench, not over a flaky field link.
+        """
+        if injector is not None and injector.plan.flash is not None:
+            from repro.faults.hardware import FaultyFlash
+            flash: Mx25R6435F = FaultyFlash(injector)
+            flash.inject = False
+            banks = FirmwareBanks(flash)
+            banks.install_golden(GOLDEN_IMAGE, GOLDEN_IMAGE_ID)
+            flash.inject = True
+            return banks
+        banks = FirmwareBanks(Mx25R6435F())
+        banks.install_golden(GOLDEN_IMAGE, GOLDEN_IMAGE_ID)
+        return banks
+
+    def _run_hardened_sessions(self, rng: np.random.Generator,
+                               timeline: Timeline, is_fpga_image: bool,
+                               faults: FaultPlan | None,
+                               policy: RetryPolicy | None
+                               ) -> list[NodeSession]:
+        """Program every node fault-tolerantly; classify, never abort.
+
+        Per-node state (flash banks, the fault injector's chains)
+        persists across that node's attempts, so a retry genuinely
+        resumes from staged data and flash checkpoints rather than
+        starting a fresh simulated node.
+        """
+        sessions: list[NodeSession] = []
+        for node in self.deployment.nodes:
+            injector = (faults.bind(node.node_id)
+                        if faults is not None else None)
+            banks = self._provision_banks(injector)
+            session = NodeSession(node_id=node.node_id,
+                                  wake_time_s=timeline.now_s)
+            for attempt in range(self.max_attempts):
+                session.attempts += 1
+                node_link = OtaLink(
+                    downlink_rssi_dbm=self.deployment.downlink_rssi_dbm(
+                        node, rng),
+                    uplink_rssi_dbm=self.deployment.uplink_rssi_dbm(
+                        node, rng))
+                ota = HardenedOtaSession(
+                    self.image, node_link, banks,
+                    is_fpga_image=is_fpga_image,
+                    policy=policy, faults=injector)
+                attempt_start_s = timeline.now_s
+                attempt_timeline = Timeline()
+                try:
+                    report = ota.run(rng, timeline=attempt_timeline,
+                                     campaign_offset_s=attempt_start_s)
+                except RollbackError as exc:
+                    # Both banks corrupt: unrecoverable over the air.
+                    timeline.merge(attempt_timeline,
+                                   offset_s=attempt_start_s)
+                    session.errors.append(str(exc))
+                    session.outcome = OUTCOME_ABANDONED
+                    break
+                except (OtaError, WatchdogTimeoutError, FlashError,
+                        FaultInjectionError) as exc:
+                    timeline.merge(attempt_timeline,
+                                   offset_s=attempt_start_s)
+                    session.errors.append(str(exc))
+                    if isinstance(exc, WatchdogTimeoutError):
+                        session.watchdog_resets += 1
+                    timeline.record(
+                        OTA_RETRY_WAIT, AP_RADIO,
+                        label=f"node {node.node_id} attempt {attempt}",
+                        duration_s=LISTEN_PERIOD_S)
+                    continue
+                timeline.merge(attempt_timeline, offset_s=attempt_start_s)
+                session.resumes += report.resumes
+                session.watchdog_resets += report.watchdog_resets
+                session.report = report
+                if report.rolled_back:
+                    session.rollbacks += 1
+                    session.outcome = OUTCOME_ROLLED_BACK
+                    timeline.record(
+                        OTA_RETRY_WAIT, AP_RADIO,
+                        label=f"node {node.node_id} attempt {attempt} "
+                              "rolled back",
+                        duration_s=LISTEN_PERIOD_S)
+                    continue
+                timeline.record(
+                    OTA_SESSION, AP_RADIO,
+                    label=f"node {node.node_id}",
+                    duration_s=report.total_time_s)
+                session.outcome = (OUTCOME_RESUMED if session.resumes > 0
+                                   else OUTCOME_SUCCEEDED)
+                break
+            if not session.outcome:
+                # Every attempt failed without even a rollback to show:
+                # report it (never raise - the campaign must finish).
+                session.outcome = OUTCOME_ABANDONED
+                session.errors.append(str(TransferAbandonedError(
+                    f"node {node.node_id} gave up after "
+                    f"{self.max_attempts} attempts")))
+            sessions.append(session)
+        return sessions

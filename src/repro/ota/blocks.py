@@ -100,6 +100,42 @@ def reassemble(blocks: list[CompressedBlock],
     return bytes(output)
 
 
+def parse_wire_image(wire: bytes) -> list[CompressedBlock]:
+    """Parse a staged wire image (header + payload stream) into blocks.
+
+    This is the node-side inverse of joining ``block.header() +
+    block.payload`` - the hardened updater reads the staged bytes back
+    from flash and re-parses them, so any corruption the flash
+    introduced surfaces here or in the per-block decompression as a
+    typed error instead of silently propagating.
+
+    Raises:
+        CompressionError: for truncated headers or payloads, or an empty
+            stream.
+    """
+    blocks: list[CompressedBlock] = []
+    cursor = 0
+    while cursor < len(wire):
+        if cursor + 6 > len(wire):
+            raise CompressionError(
+                f"truncated block header at offset {cursor}")
+        index = int.from_bytes(wire[cursor:cursor + 2], "big")
+        raw_size = int.from_bytes(wire[cursor + 2:cursor + 4], "big")
+        payload_size = int.from_bytes(wire[cursor + 4:cursor + 6], "big")
+        cursor += 6
+        if payload_size == 0 or cursor + payload_size > len(wire):
+            raise CompressionError(
+                f"block {index} claims {payload_size} payload bytes but "
+                f"only {len(wire) - cursor} remain")
+        blocks.append(CompressedBlock(
+            index=index, raw_size=raw_size,
+            payload=bytes(wire[cursor:cursor + payload_size])))
+        cursor += payload_size
+    if not blocks:
+        raise CompressionError("empty wire image")
+    return blocks
+
+
 def total_compressed_bytes(blocks: list[CompressedBlock],
                            include_headers: bool = True) -> int:
     """Airtime-relevant byte count of a compressed image."""

@@ -30,17 +30,25 @@ STANDBY_POWER_W = 0.2e-6 * 1.8
 
 @dataclass(frozen=True)
 class FlashStats:
-    """Cumulative access statistics for timing/energy accounting."""
+    """Cumulative access statistics for timing/energy accounting.
+
+    Timing charges whole page-program *operations*: the device takes
+    ``PAGE_PROGRAM_TIME_S`` per page program regardless of how few bytes
+    the operation writes, so a 1-byte program costs a full page time
+    (the old ``bytes_programmed / PAGE_BYTES`` ratio undercounted it to
+    nearly zero).
+    """
 
     bytes_read: int
     bytes_programmed: int
+    page_programs: int
     sectors_erased: int
 
     @property
     def busy_time_s(self) -> float:
         """Total time spent on flash operations."""
         read = self.bytes_read * 8 / READ_BANDWIDTH_BPS
-        program = (self.bytes_programmed / PAGE_BYTES) * PAGE_PROGRAM_TIME_S
+        program = self.page_programs * PAGE_PROGRAM_TIME_S
         erase = self.sectors_erased * SECTOR_ERASE_TIME_S
         return read + program + erase
 
@@ -48,8 +56,7 @@ class FlashStats:
     def energy_j(self) -> float:
         """Energy of the logged operations."""
         read = self.bytes_read * 8 / READ_BANDWIDTH_BPS * ACTIVE_READ_POWER_W
-        program = ((self.bytes_programmed / PAGE_BYTES)
-                   * PAGE_PROGRAM_TIME_S * PROGRAM_POWER_W)
+        program = self.page_programs * PAGE_PROGRAM_TIME_S * PROGRAM_POWER_W
         erase = self.sectors_erased * SECTOR_ERASE_TIME_S * PROGRAM_POWER_W
         return read + program + erase
 
@@ -66,6 +73,7 @@ class Mx25R6435F:
         self._data = bytearray(b"\xff" * capacity_bytes)
         self._bytes_read = 0
         self._bytes_programmed = 0
+        self._page_programs = 0
         self._sectors_erased = 0
 
     def _check_range(self, address: int, length: int) -> None:
@@ -122,16 +130,32 @@ class Mx25R6435F:
         for offset, byte in enumerate(data):
             self._data[address + offset] &= byte
         self._bytes_programmed += len(data)
+        self._page_programs += self.page_span(address, len(data))
 
     def write(self, address: int, data: bytes) -> None:
         """Convenience: erase the covered range, then program."""
         self.erase_range(address, len(data))
         self.program(address, data)
 
+    @staticmethod
+    def page_span(address: int, length: int) -> int:
+        """Number of page-program operations a write issues.
+
+        The device programs at most one page per operation, so a write
+        costs one operation per page it touches - a single byte is a
+        whole page program.
+        """
+        if length <= 0:
+            return 0
+        first = address // PAGE_BYTES
+        last = (address + length - 1) // PAGE_BYTES
+        return last - first + 1
+
     def stats(self) -> FlashStats:
         """Snapshot of cumulative access statistics."""
         return FlashStats(bytes_read=self._bytes_read,
                           bytes_programmed=self._bytes_programmed,
+                          page_programs=self._page_programs,
                           sectors_erased=self._sectors_erased)
 
 

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.errors import ProtocolError
+from repro.errors import BrownoutInterrupt, ConfigurationError, ProtocolError
 from repro.phy.lora.params import LoRaParams
 from repro.power import profiles
 from repro.radio.sx1276 import packet_error_probability
@@ -37,6 +37,9 @@ from repro.sim import (
     PACKET_TX,
     Timeline,
 )
+
+if TYPE_CHECKING:
+    from repro.faults.plan import NodeFaults
 
 NODE_RADIO = "node_radio"
 """Timeline component name for the node's backbone (SX1276) radio."""
@@ -62,6 +65,88 @@ ACK_TIMEOUT_S = 0.25
 """Retransmission timeout after a missing ACK."""
 
 MAX_ATTEMPTS_PER_PACKET = 50
+
+
+@dataclass(frozen=True, kw_only=True)
+class RetryPolicy:
+    """Bounded, configurable retransmission discipline for the ARQ loop.
+
+    The default policy reproduces the historical behaviour bit-exactly:
+    a fixed :data:`ACK_TIMEOUT_S` backoff, :data:`MAX_ATTEMPTS_PER_PACKET`
+    rounds per fragment, no jitter (zero extra RNG draws) and no session
+    deadline — so ``policy=None`` and ``policy=RetryPolicy()`` yield
+    identical timelines.
+
+    Attributes:
+        max_attempts: transmission rounds per fragment before giving up.
+        backoff: ``"fixed"`` (every timeout waits ``base_delay_s``) or
+            ``"exponential"`` (doubles per attempt, capped at
+            ``max_delay_s``).
+        base_delay_s: first-retry timeout.
+        max_delay_s: exponential-backoff ceiling.
+        jitter_fraction: +/- fractional spread applied to each delay;
+            non-zero jitter requires ``seed`` so the spread stays
+            deterministic.
+        session_deadline_s: wall-clock budget for one whole transfer;
+            ``None`` means unbounded.
+        seed: root for the jitter stream (independent of the link RNG).
+    """
+
+    max_attempts: int = MAX_ATTEMPTS_PER_PACKET
+    backoff: str = "fixed"
+    base_delay_s: float = ACK_TIMEOUT_S
+    max_delay_s: float = 8.0
+    jitter_fraction: float = 0.0
+    session_deadline_s: float | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff not in ("fixed", "exponential"):
+            raise ConfigurationError(
+                f"backoff must be 'fixed' or 'exponential', "
+                f"got {self.backoff!r}")
+        if self.base_delay_s <= 0:
+            raise ConfigurationError(
+                f"base_delay_s must be positive, got {self.base_delay_s!r}")
+        if self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError(
+                "max_delay_s must be >= base_delay_s, got "
+                f"{self.max_delay_s!r} < {self.base_delay_s!r}")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError(
+                f"jitter_fraction must be in [0, 1), "
+                f"got {self.jitter_fraction!r}")
+        if self.jitter_fraction > 0.0 and self.seed is None:
+            raise ConfigurationError(
+                "jittered backoff needs an explicit seed so delays stay "
+                "deterministic")
+        if self.session_deadline_s is not None \
+                and self.session_deadline_s <= 0:
+            raise ConfigurationError(
+                "session_deadline_s must be positive, got "
+                f"{self.session_deadline_s!r}")
+
+    def jitter_rng(self) -> np.random.Generator | None:
+        """The dedicated jitter stream (``None`` when jitter is off)."""
+        if self.jitter_fraction == 0.0:
+            return None
+        return np.random.default_rng([self.seed, 0x0177])
+
+    def delay_s(self, attempt: int,
+                jitter_rng: np.random.Generator | None = None) -> float:
+        """Timeout dwell after a failed transmission round ``attempt``."""
+        if self.backoff == "fixed":
+            delay = self.base_delay_s
+        else:
+            delay = min(self.base_delay_s * float(2 ** attempt),
+                        self.max_delay_s)
+        if self.jitter_fraction > 0.0 and jitter_rng is not None:
+            spread = self.jitter_fraction * (2.0 * jitter_rng.random() - 1.0)
+            delay = delay * (1.0 + spread)
+        return delay
 
 
 def crc32(data: bytes) -> int:
@@ -276,25 +361,56 @@ def run_stop_and_wait(fragments: list[DataPacket],
                       rng: np.random.Generator,
                       timeline: Timeline,
                       link_for_attempt: LinkForAttempt,
-                      component: str = NODE_RADIO) -> DataPacket | None:
+                      component: str = NODE_RADIO,
+                      policy: RetryPolicy | None = None,
+                      faults: "NodeFaults | None" = None,
+                      on_delivered: Callable[[DataPacket], None] | None = None,
+                      ) -> DataPacket | None:
     """The stop-and-wait ARQ data phase, emitting events onto a timeline.
 
     For every fragment: transmit (node receives for the data airtime),
-    wait for the ACK (node transmits), and on either loss burn the ACK
-    timeout and retry — up to :data:`MAX_ATTEMPTS_PER_PACKET` rounds.
-    This single loop serves both the fixed-link transfer
-    (:func:`simulate_transfer`) and the mobile-node variant
+    wait for the ACK (node transmits), and on either loss burn the
+    retry timeout and try again — up to ``policy.max_attempts`` rounds
+    (with ``policy=None``, the historical fixed-timeout behaviour,
+    bit-exactly).  This single loop serves the fixed-link transfer
+    (:func:`simulate_transfer`), the mobile-node variant
     (:func:`repro.testbed.mobility.simulate_mobile_transfer`), which
-    re-derives the link before every attempt via ``link_for_attempt``.
+    re-derives the link before every attempt via ``link_for_attempt``,
+    and the hardened resumable session
+    (:class:`repro.ota.hardened.HardenedOtaSession`).
+
+    ``faults`` threads a :class:`~repro.faults.NodeFaults` injector into
+    the loop: forced packet loss (AP outages, burst-loss chain) is
+    checked *before* the link draw, corruption after a successful data
+    delivery (the node refuses to ACK a CRC-failing fragment), and
+    brownouts fire right after a fragment is acknowledged.  All fault
+    randomness comes from the injector's own streams, never ``rng``.
+
+    ``on_delivered`` runs after each fragment's ``packet.done`` event —
+    the hardened session uses it to checkpoint progress to flash.
 
     Returns:
         ``None`` when every fragment was delivered, else the fragment
-        that exhausted its attempts (the timeline then carries an
-        ``ota.failure`` marker).
+        that exhausted its attempts or hit the session deadline (the
+        timeline then carries an ``ota.failure`` marker).
+
+    Raises:
+        BrownoutInterrupt: the injected brownout fired; the exception
+            carries the sequence number to resume from.
     """
+    pol = policy if policy is not None else RetryPolicy()
+    jitter_rng = pol.jitter_rng()
+    started_s = timeline.now_s
     for fragment in fragments:
         delivered = False
-        for attempt in range(MAX_ATTEMPTS_PER_PACKET):
+        for attempt in range(pol.max_attempts):
+            if pol.session_deadline_s is not None and \
+                    timeline.now_s - started_s >= pol.session_deadline_s:
+                timeline.record(
+                    OTA_FAILURE, component,
+                    label=f"session deadline {pol.session_deadline_s:g} s "
+                          f"exceeded at fragment {fragment.sequence}")
+                return fragment
             link = link_for_attempt(timeline.now_s, fragment, attempt)
             data_airtime = link.airtime_s(fragment.wire_bytes)
             ack_airtime = link.airtime_s(ACK_BYTES)
@@ -302,12 +418,24 @@ def run_stop_and_wait(fragments: list[DataPacket],
                 PACKET_RX, component,
                 label=f"data seq={fragment.sequence} attempt={attempt}",
                 duration_s=data_airtime, power_w=profiles.BACKBONE_RX_W)
-            if not link.packet_success(fragment.wire_bytes, uplink=False,
-                                       rng=rng):
+            forced_loss = faults is not None and faults.packet_lost(
+                uplink=False, label=f"data seq={fragment.sequence}")
+            if forced_loss or not link.packet_success(
+                    fragment.wire_bytes, uplink=False, rng=rng):
                 timeline.record(
                     PACKET_TIMEOUT, component,
                     label=f"data seq={fragment.sequence} lost",
-                    duration_s=ACK_TIMEOUT_S,
+                    duration_s=pol.delay_s(attempt, jitter_rng),
+                    power_w=profiles.BACKBONE_RX_W)
+                continue
+            if faults is not None and faults.packet_corrupted(
+                    f"data seq={fragment.sequence}"):
+                # Delivered but failing the node's CRC: the node stays
+                # silent and the AP's ACK wait expires.
+                timeline.record(
+                    PACKET_TIMEOUT, component,
+                    label=f"data seq={fragment.sequence} corrupt",
+                    duration_s=pol.delay_s(attempt, jitter_rng),
                     power_w=profiles.BACKBONE_RX_W)
                 continue
             timeline.record(
@@ -315,15 +443,23 @@ def run_stop_and_wait(fragments: list[DataPacket],
                 label=f"ack seq={fragment.sequence}",
                 duration_s=ack_airtime,
                 power_w=profiles.BACKBONE_TX_14DBM_W)
-            if link.packet_success(ACK_BYTES, uplink=True, rng=rng):
+            ack_forced_loss = faults is not None and faults.packet_lost(
+                uplink=True, label=f"ack seq={fragment.sequence}")
+            if not ack_forced_loss and link.packet_success(
+                    ACK_BYTES, uplink=True, rng=rng):
                 delivered = True
                 timeline.record(PACKET_DELIVERED, component,
                                 label=f"seq={fragment.sequence}")
+                if on_delivered is not None:
+                    on_delivered(fragment)
+                if faults is not None and faults.brownout_now():
+                    raise BrownoutInterrupt(fragment.sequence + 1)
                 break
             timeline.record(
                 PACKET_TIMEOUT, component,
                 label=f"ack seq={fragment.sequence} lost",
-                duration_s=ACK_TIMEOUT_S, power_w=profiles.BACKBONE_RX_W)
+                duration_s=pol.delay_s(attempt, jitter_rng),
+                power_w=profiles.BACKBONE_RX_W)
         if not delivered:
             timeline.record(OTA_FAILURE, component,
                             label=f"fragment {fragment.sequence} undeliverable")

@@ -126,7 +126,10 @@ def decompress(data: bytes, expected_size: int | None = None) -> bytes:
 
     Raises:
         CompressionError: for truncated or malformed streams, or an
-            output-size mismatch.
+            output-size mismatch.  With ``expected_size`` given, the
+            check happens *per op*, so a corrupted length cascade
+            claiming megabytes fails immediately instead of first
+            allocating them (the MSP432 has 64 kB of SRAM total).
     """
     data = bytes(data)
     out = bytearray()
@@ -146,6 +149,11 @@ def decompress(data: bytes, expected_size: int | None = None) -> bytes:
                 length = MAX_SHORT_MATCH + 1 + extra
             else:
                 length = MIN_MATCH + length_code
+            if expected_size is not None \
+                    and len(out) + length > expected_size:
+                raise CompressionError(
+                    f"match of {length} bytes would grow the output past "
+                    f"the expected {expected_size} bytes")
             if distance > len(out):
                 raise CompressionError(
                     f"match distance {distance} reaches before the output "
@@ -159,6 +167,10 @@ def decompress(data: bytes, expected_size: int | None = None) -> bytes:
                 run = MAX_LITERAL_RUN + extra
             else:
                 run = token
+            if expected_size is not None and len(out) + run > expected_size:
+                raise CompressionError(
+                    f"literal run of {run} bytes would grow the output "
+                    f"past the expected {expected_size} bytes")
             if pos + run > n:
                 raise CompressionError("truncated literal run")
             out.extend(data[pos:pos + run])

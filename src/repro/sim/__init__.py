@@ -24,16 +24,27 @@ in ``tests/test_sim_parity.py`` for the bit-exactness contract).
 from repro.sim.events import (
     CONTROL_RX,
     CONTROL_TX,
+    FAULT_BROWNOUT,
+    FAULT_CORRUPT,
+    FAULT_FLASH,
+    FAULT_HANG,
+    FAULT_KINDS,
+    FAULT_LOSS,
+    FAULT_OUTAGE,
     FLASH_BUSY,
     FPGA_CONFIG,
     MCU_DECOMPRESS,
     MCU_MODE,
     MCU_RUN,
     METER_SEGMENT,
+    OTA_CHECKPOINT,
     OTA_FAILURE,
     OTA_REQUEST,
+    OTA_RESUME,
     OTA_RETRY_WAIT,
+    OTA_ROLLBACK,
     OTA_SESSION,
+    OTA_VERIFY,
     PACKET_DELIVERED,
     PACKET_RX,
     PACKET_TIMEOUT,
@@ -41,6 +52,7 @@ from repro.sim.events import (
     RADIO_MODE,
     SCHEDULER_FIRE,
     SLEEP,
+    WATCHDOG_RESET,
     SimEvent,
 )
 from repro.sim.timeline import Timeline
@@ -55,16 +67,27 @@ from repro.sim.trace import (
 __all__ = [
     "CONTROL_RX",
     "CONTROL_TX",
+    "FAULT_BROWNOUT",
+    "FAULT_CORRUPT",
+    "FAULT_FLASH",
+    "FAULT_HANG",
+    "FAULT_KINDS",
+    "FAULT_LOSS",
+    "FAULT_OUTAGE",
     "FLASH_BUSY",
     "FPGA_CONFIG",
     "MCU_DECOMPRESS",
     "MCU_MODE",
     "MCU_RUN",
     "METER_SEGMENT",
+    "OTA_CHECKPOINT",
     "OTA_FAILURE",
     "OTA_REQUEST",
+    "OTA_RESUME",
     "OTA_RETRY_WAIT",
+    "OTA_ROLLBACK",
     "OTA_SESSION",
+    "OTA_VERIFY",
     "PACKET_DELIVERED",
     "PACKET_RX",
     "PACKET_TIMEOUT",
@@ -72,6 +95,7 @@ __all__ = [
     "RADIO_MODE",
     "SCHEDULER_FIRE",
     "SLEEP",
+    "WATCHDOG_RESET",
     "SimEvent",
     "Timeline",
     "from_jsonl",

@@ -27,7 +27,22 @@ kind                meaning
 ``ota.session``     one node's whole programming session (span)
 ``ota.retry``       AP waiting out a node's next listen window
 ``ota.failure``     zero-duration marker: a session or fragment died
+``ota.checkpoint``  resume checkpoint persisted to the flash metadata log
+``ota.resume``      a rebooted node resumed its transfer mid-image
+``ota.rollback``    CRC-verify failed; node fell back to the golden image
+``ota.verify``      image CRC verification before boot
+``watchdog.reset``  the watchdog expired and rebooted a hung node
+``fault.loss``      injected packet loss (Gilbert-Elliott burst state)
+``fault.corrupt``   injected bit corruption on a delivered packet
+``fault.flash``     injected flash page-program failure or stuck bits
+``fault.brownout``  injected node brownout/reboot mid-transfer
+``fault.outage``    packet fell inside an injected AP outage window
+``fault.hang``      injected MCU hang (watchdog-detected)
 ==================  =====================================================
+
+The ``fault.*`` namespace is reserved for *injected* failures from
+:mod:`repro.faults`: traces carry exactly what was done to the system,
+distinct from the ``ota.*`` events that show how it coped.
 
 Events carry an optional ``power_w`` so energy falls out of the ledger
 as ``power x duration``; activities whose energy is not a constant-power
@@ -60,6 +75,17 @@ OTA_REQUEST = "ota.request"
 OTA_SESSION = "ota.session"
 OTA_RETRY_WAIT = "ota.retry"
 OTA_FAILURE = "ota.failure"
+OTA_CHECKPOINT = "ota.checkpoint"
+OTA_RESUME = "ota.resume"
+OTA_ROLLBACK = "ota.rollback"
+OTA_VERIFY = "ota.verify"
+WATCHDOG_RESET = "watchdog.reset"
+FAULT_LOSS = "fault.loss"
+FAULT_CORRUPT = "fault.corrupt"
+FAULT_FLASH = "fault.flash"
+FAULT_BROWNOUT = "fault.brownout"
+FAULT_OUTAGE = "fault.outage"
+FAULT_HANG = "fault.hang"
 
 #: Every kind the ledger understands, for validation and docs.
 ALL_KINDS = frozenset({
@@ -67,6 +93,15 @@ ALL_KINDS = frozenset({
     CONTROL_TX, CONTROL_RX, MCU_MODE, MCU_RUN, MCU_DECOMPRESS,
     FPGA_CONFIG, FLASH_BUSY, SLEEP, METER_SEGMENT, SCHEDULER_FIRE,
     OTA_REQUEST, OTA_SESSION, OTA_RETRY_WAIT, OTA_FAILURE,
+    OTA_CHECKPOINT, OTA_RESUME, OTA_ROLLBACK, OTA_VERIFY, WATCHDOG_RESET,
+    FAULT_LOSS, FAULT_CORRUPT, FAULT_FLASH, FAULT_BROWNOUT, FAULT_OUTAGE,
+    FAULT_HANG,
+})
+
+#: The injected-failure namespace (every kind repro.faults may emit).
+FAULT_KINDS = frozenset({
+    FAULT_LOSS, FAULT_CORRUPT, FAULT_FLASH, FAULT_BROWNOUT, FAULT_OUTAGE,
+    FAULT_HANG,
 })
 
 

@@ -1,0 +1,10 @@
+"""Fixture: REPRO009 true positives."""
+
+from repro import faults
+from repro.faults import FaultPlan, GilbertElliott
+
+
+def chaos_plan():
+    loss = GilbertElliott(p_enter_bad=0.1)
+    brownouts = faults.BrownoutModel(prob_per_fragment=0.01)
+    return FaultPlan(burst_loss=loss, brownout=brownouts)

@@ -1,0 +1,16 @@
+"""Fixture: REPRO009 true negatives."""
+
+from repro import faults
+from repro.faults import FaultPlan, GilbertElliott
+
+from mypackage.pipeline import FaultPlan as PipelinePlan
+
+
+def chaos_plan(seed: int):
+    loss = GilbertElliott(seed=seed, p_enter_bad=0.1)
+    brownouts = faults.BrownoutModel(seed=seed, prob_per_fragment=0.01)
+    overrides = {"seed": seed}
+    outages = faults.ApOutageModel(**overrides)
+    unrelated = PipelinePlan()  # not a repro.faults constructor
+    return FaultPlan(seed=seed, burst_loss=loss, brownout=brownouts,
+                     ap_outage=outages), unrelated

@@ -1,4 +1,4 @@
-"""Golden-fixture tests for the eight reprolint rules.
+"""Golden-fixture tests for the nine reprolint rules.
 
 The fixtures under ``tests/fixtures/reprolint/`` form two miniature
 projects: ``bad`` contains one file per rule engineered to trip it at
@@ -48,6 +48,9 @@ EXPECTED_BAD = {
     ("REPRO008", "src/accounting_bad.py", 10),
     ("REPRO008", "src/accounting_bad.py", 11),
     ("REPRO008", "src/accounting_bad.py", 20),
+    ("REPRO009", "src/faults_bad.py", 8),
+    ("REPRO009", "src/faults_bad.py", 9),
+    ("REPRO009", "src/faults_bad.py", 10),
 }
 
 ALL_RULE_IDS = sorted({rule for rule, _, _ in EXPECTED_BAD})
@@ -94,7 +97,7 @@ def test_scope_override_limits_module_scoped_rules():
     assert "REPRO004" not in rules
     assert "REPRO006" not in rules
     assert {"REPRO001", "REPRO002", "REPRO003",
-            "REPRO005", "REPRO007"} <= rules
+            "REPRO005", "REPRO007", "REPRO009"} <= rules
 
 
 def test_exempt_pattern_disables_rule_per_file():

@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "localization_demo.py",
     "mobile_node.py",
     "trace_campaign.py",
+    "chaos_campaign.py",
 ]
 
 SLOW_EXAMPLES = [

@@ -1,0 +1,100 @@
+"""Property tests: miniLZO decompression under hostile input.
+
+The hardened OTA path reads staged compressed blocks back from a flash
+that may have dropped pages or stuck bits, then feeds them to
+:func:`repro.ota.minilzo.decompress`.  The contract under ANY corruption
+is: return the correct bytes or raise :class:`CompressionError` - never
+hang, never crash with an untyped exception, never silently hand back
+wrong data when the block header's ``raw_size`` is supplied, and never
+allocate past the expected output size (the MSP432 has 64 kB of SRAM).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompressionError, ReproError
+from repro.ota.minilzo import compress, decompress
+
+payloads = st.binary(min_size=1, max_size=2048)
+compressible = st.builds(
+    lambda chunk, reps: chunk * reps,
+    st.binary(min_size=1, max_size=64),
+    st.integers(min_value=1, max_value=64))
+
+
+@given(data=payloads | compressible)
+def test_roundtrip_with_size_check(data):
+    assert decompress(compress(data), len(data)) == data
+
+
+@given(data=st.binary(max_size=4096))
+def test_arbitrary_bytes_never_raise_untyped(data):
+    """Any byte soup either decodes to something or fails typed."""
+    try:
+        decompress(data)
+    except CompressionError:
+        pass
+    # Anything else (IndexError, MemoryError, ...) fails the test.
+
+
+@given(data=payloads | compressible,
+       position=st.integers(min_value=0, max_value=10_000),
+       flip=st.integers(min_value=1, max_value=255))
+def test_bit_corruption_is_caught_or_harmless(data, position, flip):
+    """A corrupted stream must never silently yield wrong output.
+
+    With the block's ``raw_size`` supplied (as the OTA headers always
+    do), a corrupted stream either still decodes to the original bytes
+    (the flip landed in a literal run - indistinguishable without a
+    payload CRC, which the install path adds on top) or raises the
+    typed error.  Wrong-size output must never escape.
+    """
+    stream = bytearray(compress(data))
+    position %= len(stream)
+    stream[position] ^= flip
+    try:
+        recovered = decompress(bytes(stream), len(data))
+    except CompressionError:
+        return
+    assert len(recovered) == len(data)
+
+
+@given(data=payloads | compressible,
+       cut=st.integers(min_value=0, max_value=10_000))
+def test_truncation_is_caught_or_harmless(data, cut):
+    stream = compress(data)
+    truncated = stream[:cut % (len(stream) + 1)]
+    try:
+        recovered = decompress(truncated, len(data))
+    except CompressionError:
+        return
+    assert recovered == data  # only the full stream can still match
+
+
+@given(extension=st.binary(max_size=64))
+def test_corrupt_cascade_cannot_balloon_output(extension):
+    """A length cascade claiming megabytes fails before allocating them.
+
+    ``0x00`` opens an extended literal run; adversarial 255-cascades
+    after it claim runs far past any plausible block.  With an expected
+    size given, the per-op budget check must fire (or the stream must
+    fail as truncated) without materializing the claimed run.
+    """
+    stream = b"\x00" + b"\xff" * 200 + extension
+    try:
+        out = decompress(stream, expected_size=1024)
+    except CompressionError:
+        return
+    assert len(out) <= 1024
+
+
+@settings(max_examples=25)
+@given(data=st.binary(min_size=1, max_size=512))
+def test_all_failures_are_repro_errors(data):
+    """The OTA stack catches ReproError subclasses only."""
+    try:
+        decompress(data, expected_size=len(data))
+    except ReproError:
+        pass

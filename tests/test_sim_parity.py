@@ -75,7 +75,11 @@ class TestUpdateParity:
                      report.transfer.node_rx_time_s,
                      report.transfer.node_tx_time_s) == [
             "0x1.cae481e7bfd4cp+5",
-            "0x1.ebafc5c07360fp+1",
+            # Energy golden re-captured 2026-08 when FlashStats switched
+            # from the fractional bytes/page ratio to counting whole
+            # page-program operations (a deliberate accounting fix; the
+            # partial trailing page now costs a full program time).
+            "0x1.ebb0a04813d3cp+1",
             "0x1.c1b8fc05b7589p-2",
             "0x1.6f6c1bc6d565ap-6",
             "0x1.c733226c3b8b6p+5",
@@ -112,8 +116,10 @@ class TestCampaignParity:
     def test_every_session_bit_identical(self, campaign):
         for session in campaign.sessions:
             assert session.attempts == 1
+            # Re-captured with the page-program accounting fix (see
+            # TestUpdateParity.test_report_floats_bit_identical).
             assert session.report.node_energy_j.hex() \
-                == "0x1.ff93a84d820dep+1"
+                == "0x1.ff947adeb3f9fp+1"
             assert session.report.total_time_s.hex() \
                 == "0x1.de9d66a03bb0ep+5"
         assert campaign.sessions[0].wake_time_s.hex() \
