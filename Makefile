@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint chaos check bench-hotpath bench-check bench-paper
+.PHONY: test lint chaos check bench-hotpath bench-fleet bench-check bench-paper
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -27,8 +27,14 @@ check: lint bench-check
 bench-hotpath:
 	$(PYTHON) benchmarks/bench_hotpath_throughput.py
 
+# Campaign entries only (legacy, faulty and the 100k-node fleet
+# engine); a filtered sweep never rewrites the committed baseline.
+bench-fleet:
+	$(PYTHON) benchmarks/bench_hotpath_throughput.py --only 'ota_campaign*'
+
 # Fail (exit nonzero) on >30% fast-path throughput regression vs the
-# committed BENCH_hotpath.json baseline.
+# committed BENCH_hotpath.json baseline, and on the fleet floor
+# (ota_campaign_100k must clear 100x ota_campaign events/s).
 bench-check:
 	$(PYTHON) benchmarks/check_regression.py
 

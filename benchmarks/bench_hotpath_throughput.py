@@ -5,26 +5,43 @@ Times every sample/bit-level substrate the Fig. 6 pipelines run on — the
 alignment search, chirp generation, the radix-2 FFT, and the end-to-end
 LoRa mod -> channel -> demod chain — in items/second, for both the
 vectorized fast paths and the retained ``*_reference`` scalar
-implementations.  Two seeded OTA campaign entries additionally gate the
-timeline-backed event ledger in events/second: a clean campaign and a
+implementations.  Three seeded OTA campaign entries additionally gate
+the event ledger in events/second: a clean timeline-backed campaign, a
 hardened one under an everything-at-once fault plan (burst loss,
-corruption, flash faults, brownouts).  The report is written to ``BENCH_hotpath.json`` at the
-repository root so the perf trajectory is tracked across PRs
+corruption, flash faults, brownouts), and the vectorized fleet engine
+driving 100k nodes through struct-of-arrays cohorts (which must clear
+100x the legacy per-node path — enforced by
+``benchmarks/check_regression.py``).
+
+Every entry records per-entry metadata under ``metadata["entries"]``:
+a plan-cache counter snapshot scoped to that entry and the process RSS
+(current and peak) after it ran.  The fleet entry additionally spills
+its campaign through the bounded-memory JSONL writer outside the timed
+region and fails the run if peak RSS grows past a fixed budget.
+
+The report is written to ``BENCH_hotpath.json`` at the repository root
+so the perf trajectory is tracked across PRs
 (``benchmarks/check_regression.py`` compares a fresh run against the
 committed baseline).
 
 Run standalone::
 
-    python benchmarks/bench_hotpath_throughput.py
+    python benchmarks/bench_hotpath_throughput.py [--only PATTERN]
 
-or via ``make bench-hotpath``.
+or via ``make bench-hotpath``; ``make bench-fleet`` runs only the
+campaign entries (``--only 'ota_campaign*'``).  A filtered sweep never
+rewrites the committed baseline.
 """
 
 from __future__ import annotations
 
+import argparse
+import fnmatch
 import pathlib
 import platform
+import resource
 import sys
+import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
@@ -42,6 +59,12 @@ from repro.faults import (
 )
 from repro.fpga import generate_bitstream
 from repro.ota.ap import AccessPoint
+from repro.ota.fleet import (
+    FleetBurstLoss,
+    FleetCampaignConfig,
+    run_fleet_campaign,
+    write_fleet_spill,
+)
 from repro.ota.mac import RetryPolicy
 from repro.perf import cache
 from repro.perf.timing import ThroughputReport, measure_throughput
@@ -69,6 +92,34 @@ REFERENCE_REPEATS = 2
 CAMPAIGN_NODES = 4
 CAMPAIGN_IMAGE_BYTES = 16_384
 CAMPAIGN_REPEATS = 3
+
+FLEET_NODES = 100_000
+FLEET_IMAGE_BYTES = 1_800
+FLEET_SEED = 2020
+FLEET_REPEATS = 2
+FLEET_SPILL_BUFFER_ROWS = 4_096
+FLEET_SPILL_RSS_BUDGET_KB = 262_144  # units: KiB (256 MiB)
+
+
+def _rss_snapshot() -> dict[str, int]:
+    """Process resident-set size, current and peak, in kibibytes.
+
+    Reads ``/proc/self/status`` (``VmRSS``/``VmHWM``) where available;
+    falls back to ``resource.getrusage``, whose ``ru_maxrss`` is the
+    lifetime peak on Linux, for both fields.
+    """
+    status = pathlib.Path("/proc/self/status")
+    if status.exists():
+        fields: dict[str, int] = {}
+        for line in status.read_text().splitlines():
+            key, _, rest = line.partition(":")
+            if key in ("VmRSS", "VmHWM"):
+                fields[key] = int(rest.split()[0])
+        if "VmRSS" in fields:
+            return {"rss_kb": fields["VmRSS"],
+                    "peak_rss_kb": fields.get("VmHWM", fields["VmRSS"])}
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {"rss_kb": peak_kb, "peak_rss_kb": peak_kb}
 
 
 def _bench_codec(report: ThroughputReport,
@@ -184,15 +235,15 @@ def _bench_fft(report: ThroughputReport,
 
 
 def _bench_lora_end_to_end(report: ThroughputReport,
-                           rng: np.random.Generator) -> dict[str, int]:
+                           rng: np.random.Generator) -> None:
     """Full LoRa mod -> AWGN -> demod chain, multiple modems per config.
 
     Building ``E2E_MODEMS`` modulator/demodulator pairs with identical
     ``LoRaParams`` is exactly the testbed-sweep construction pattern the
-    plan cache exists for; the returned stats must show nonzero hits.
+    plan cache exists for; this entry's per-entry plan-cache snapshot
+    must show nonzero hits.
     """
     params = LoRaParams(7, 125e3)
-    cache.clear()
     modems = [(LoRaModulator(params), LoRaDemodulator(params))
               for _ in range(E2E_MODEMS)]
     clean = modems[0][0].modulate(E2E_PAYLOAD)
@@ -209,9 +260,6 @@ def _bench_lora_end_to_end(report: ThroughputReport,
 
     report.add("lora_end_to_end", "fast", measure_throughput(
         "lora_end_to_end.fast", run_chain, items, repeats=5))
-    stats = cache.stats()
-    return {"hits": stats.hits, "misses": stats.misses,
-            "entries": stats.entries, "evictions": stats.evictions}
 
 
 def _bench_symbol_demod(report: ThroughputReport,
@@ -301,32 +349,123 @@ def _bench_campaign_faulty(report: ThroughputReport) -> None:
         repeats=CAMPAIGN_REPEATS))
 
 
-def collect_report(seed: int = 2020) -> ThroughputReport:
-    """Run every hot-path benchmark and return the populated report."""
+def _bench_campaign_100k(report: ThroughputReport) -> None:
+    """Vectorized fleet campaign over 100k nodes, in events/second.
+
+    The ISSUE-6 tentpole entry: the struct-of-arrays cohort engine runs
+    the whole fleet through the same ARQ/session state machine the
+    timeline-backed campaign walks per node, and is gated at >= 100x the
+    ``ota_campaign`` events/second by ``check_regression.py``.  Items
+    are the ledger rows an event-level simulation would have emitted
+    (``FleetReport.total_events``), so the two entries share a unit.
+
+    After timing, the full report is spilled through the bounded-memory
+    ``StreamingLedgerWriter`` and the run fails if the spill's resident
+    buffer exceeds its bound or peak RSS grows past the fixed budget.
+    """
+    config = FleetCampaignConfig(
+        num_nodes=FLEET_NODES, image_bytes=FLEET_IMAGE_BYTES,
+        seed=FLEET_SEED, loss=FleetBurstLoss(), verify_failure_prob=0.01)
+    fleet = run_fleet_campaign(config)
+    items = fleet.total_events
+
+    report.add("ota_campaign_100k", "fast", measure_throughput(
+        "ota_campaign_100k.fast", lambda: run_fleet_campaign(config),
+        items, unit="events", repeats=FLEET_REPEATS))
+
+    before = _rss_snapshot()
+    with tempfile.TemporaryDirectory() as tmp:
+        spill = write_fleet_spill(
+            fleet, pathlib.Path(tmp) / "fleet_campaign.jsonl",
+            buffer_rows=FLEET_SPILL_BUFFER_ROWS)
+    growth_kb = max(
+        0, _rss_snapshot()["peak_rss_kb"] - before["peak_rss_kb"])
+    if spill["max_buffered"] > FLEET_SPILL_BUFFER_ROWS:
+        raise AssertionError(
+            f"spill buffered {spill['max_buffered']} rows, bound is "
+            f"{FLEET_SPILL_BUFFER_ROWS}")
+    if growth_kb > FLEET_SPILL_RSS_BUDGET_KB:
+        raise AssertionError(
+            f"fleet spill grew peak RSS by {growth_kb} KiB, budget is "
+            f"{FLEET_SPILL_RSS_BUDGET_KB} KiB")
+    report.annotate("ota_campaign_100k", fleet={
+        "nodes": FLEET_NODES,
+        "total_events": items,
+        "outcomes": fleet.outcome_counts(),
+        "spill_rows": spill["rows_written"],
+        "spill_max_buffered": spill["max_buffered"],
+        "spill_peak_rss_growth_kb": growth_kb,
+        "spill_rss_budget_kb": FLEET_SPILL_RSS_BUDGET_KB,
+    })
+
+
+# Every harness entry, in sweep order.  Entry names are what ``--only``
+# matches and what keys the per-entry metadata; an entry may add one or
+# more result groups (the codec entry adds pack and unpack).
+_ENTRIES = (
+    ("iqword", _bench_codec),
+    ("lvds_roundtrip", _bench_lvds),
+    ("resync", _bench_resync),
+    ("chirp_generation", _bench_chirp),
+    ("fft", _bench_fft),
+    ("symbol_demod", _bench_symbol_demod),
+    ("ota_campaign", lambda report, rng: _bench_campaign(report)),
+    ("ota_campaign_faulty",
+     lambda report, rng: _bench_campaign_faulty(report)),
+    ("ota_campaign_100k",
+     lambda report, rng: _bench_campaign_100k(report)),
+    ("lora_end_to_end", _bench_lora_end_to_end),
+)
+
+
+def collect_report(seed: int = 2020,
+                   only: str | None = None) -> ThroughputReport:
+    """Run the hot-path benchmarks and return the populated report.
+
+    Args:
+        seed: RNG seed for the synthetic bench inputs.
+        only: optional ``fnmatch`` pattern over entry names; entries
+            that do not match are skipped entirely.
+
+    The plan cache is cleared before each entry so the per-entry
+    ``plan_cache`` snapshot counts exactly that entry's traffic, and an
+    RSS snapshot is annotated after each entry runs.
+    """
     rng = np.random.default_rng(seed)
     report = ThroughputReport()
-    _bench_codec(report, rng)
-    _bench_lvds(report, rng)
-    _bench_resync(report, rng)
-    _bench_chirp(report, rng)
-    _bench_fft(report, rng)
-    _bench_symbol_demod(report, rng)
-    _bench_campaign(report)
-    _bench_campaign_faulty(report)
-    plan_cache_stats = _bench_lora_end_to_end(report, rng)
-    report.metadata = {
+    for name, bench in _ENTRIES:
+        if only is not None and not fnmatch.fnmatchcase(name, only):
+            continue
+        cache.clear()
+        bench(report, rng)
+        stats = cache.stats()
+        report.annotate(
+            name,
+            plan_cache={"hits": stats.hits, "misses": stats.misses,
+                        "entries": stats.entries,
+                        "evictions": stats.evictions},
+            **_rss_snapshot())
+    report.metadata.update({
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
         "seed": seed,
-        "plan_cache": plan_cache_stats,
-    }
+    })
     return report
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
     """Run the harness, print a summary and write ``BENCH_hotpath.json``."""
-    report = collect_report()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", default=None, metavar="PATTERN",
+                        help="fnmatch pattern selecting bench entries "
+                             "(e.g. 'ota_campaign*'); a filtered sweep "
+                             "does not rewrite BENCH_hotpath.json")
+    args = parser.parse_args(argv)
+    report = collect_report(only=args.only)
+    if not report.results:
+        print(f"no bench entries match {args.only!r}")
+        return 2
     print(f"{'benchmark':<20} {'fast (items/s)':>16} "
           f"{'reference (items/s)':>20} {'speedup':>9}")
     for group in sorted(report.results):
@@ -338,10 +477,15 @@ def main() -> int:
               f"{fast.items_per_second if fast else 0:>16.3e} "
               f"{reference.items_per_second if reference else 0:>20.3e} "
               f"{f'{ratio:.1f}x' if ratio else '-':>9}")
-    plan_cache_stats = report.metadata["plan_cache"]
-    print(f"plan cache during end-to-end run: {plan_cache_stats}")
-    path = report.write_json(BENCH_PATH)
-    print(f"wrote {path}")
+    for name, entry in sorted(report.metadata.get("entries", {}).items()):
+        plan_cache = entry["plan_cache"]
+        print(f"{name}: plan cache {plan_cache}, "
+              f"rss {entry['rss_kb']} KiB (peak {entry['peak_rss_kb']})")
+    if args.only is None:
+        path = report.write_json(BENCH_PATH)
+        print(f"wrote {path}")
+    else:
+        print("partial sweep (--only); baseline not rewritten")
     return 0
 
 

@@ -8,6 +8,11 @@ lands.  Speedups are reported but never fail the gate; refresh the
 committed baseline by re-running the harness
 (``python benchmarks/bench_hotpath_throughput.py``).
 
+On top of the relative gate, one absolute floor from ISSUE-6 is
+enforced within the fresh sweep itself: the vectorized fleet engine
+(``ota_campaign_100k``) must sustain at least 100x the legacy
+timeline-backed campaign (``ota_campaign``) in events/second.
+
 Usage::
 
     python benchmarks/check_regression.py [--baseline PATH] [--threshold 0.30]
@@ -27,6 +32,10 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from bench_hotpath_throughput import BENCH_PATH, collect_report
+
+FLEET_GROUP = "ota_campaign_100k"
+FLEET_BASE_GROUP = "ota_campaign"
+FLEET_MIN_SPEEDUP = 100.0
 
 
 def load_baseline(path: pathlib.Path) -> dict:
@@ -79,6 +88,30 @@ def compare(baseline: dict, fresh: dict,
     return regressions, notes
 
 
+def check_fleet_floor(fresh: dict,
+                      min_speedup: float = FLEET_MIN_SPEEDUP
+                      ) -> tuple[list[str], list[str]]:
+    """ISSUE-6 acceptance floor; returns (failures, notes).
+
+    Both entries come from the same fresh sweep, so the floor holds on
+    any machine regardless of the committed baseline's hardware.
+    """
+    results = fresh.get("results", {})
+    try:
+        fleet = results[FLEET_GROUP]["fast"]["items_per_second"]
+        legacy = results[FLEET_BASE_GROUP]["fast"]["items_per_second"]
+    except KeyError:
+        return ([f"fleet floor: {FLEET_GROUP} or {FLEET_BASE_GROUP} "
+                 f"missing from fresh run"], [])
+    ratio = fleet / legacy if legacy else float("inf")
+    line = (f"fleet floor: {FLEET_GROUP} {fleet:.3e} events/s is "
+            f"{ratio:.0f}x {FLEET_BASE_GROUP} {legacy:.3e} events/s "
+            f"(need >= {min_speedup:.0f}x)")
+    if ratio < min_speedup:
+        return ([line], [])
+    return ([], [line])
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the gate; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -100,6 +133,9 @@ def main(argv: list[str] | None = None) -> int:
     fresh = best_of([collect_report().to_dict()
                      for _ in range(max(1, args.runs))])
     regressions, notes = compare(baseline, fresh, args.threshold)
+    floor_failures, floor_notes = check_fleet_floor(fresh)
+    regressions += floor_failures
+    notes += floor_notes
     for line in notes:
         print(f"ok   {line}")
     for line in regressions:

@@ -50,6 +50,12 @@ DEFAULT_ACCOUNTING_EXEMPT = (
     "*/repro/analysis/*",
 )
 
+#: The one sanctioned allocation site the fleet buffer rule (REPRO010)
+#: must not flag: the buffer helpers themselves.
+DEFAULT_FLEET_BUFFER_EXEMPT = (
+    "*/repro/ota/fleet/buffers.py",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -94,6 +100,7 @@ def default_config() -> LintConfig:
         rule_exempt={
             "REPRO005": DEFAULT_UNITS_EXEMPT,
             "REPRO008": DEFAULT_ACCOUNTING_EXEMPT,
+            "REPRO010": DEFAULT_FLEET_BUFFER_EXEMPT,
         })
 
 

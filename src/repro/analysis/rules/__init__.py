@@ -15,6 +15,8 @@ REPRO006  constant-provenance   component constants cite datasheet/paper
 REPRO007  no-swallowed-errors   no bare/blanket silent exception handlers
 REPRO008  accounting-discipline time/energy accumulate on the sim timeline
 REPRO009  fault-discipline      fault models constructed with explicit seeds
+REPRO010  fleet-buffer-discipline  fleet cohort arrays come from the
+                                buffer helpers, never ad-hoc allocation
 ========  ====================  ==========================================
 """
 
@@ -24,6 +26,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     control,
     dtype,
     faultrng,
+    fleet,
     parity,
     provenance,
     rng,

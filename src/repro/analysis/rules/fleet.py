@@ -1,0 +1,89 @@
+"""REPRO010 — fleet cohort buffers come from the buffer helpers.
+
+The fleet engine's whole performance contract rests on per-node state
+living in struct-of-arrays cohort buffers with one dtype policy —
+``int64`` counters, ``uint64`` RNG lanes, ``int8`` enums — allocated in
+:mod:`repro.ota.fleet.buffers` and nowhere else.  An ad-hoc
+``np.zeros(n)`` silently defaults to ``float64`` counters (breaking the
+exact integer-times-constant accounting), and a Python list grown with
+``.append`` inside the stepping loop reintroduces exactly the
+per-node-object overhead the cohort engine exists to remove.
+
+Flagged, inside ``repro/ota/fleet`` modules (the buffer helpers module
+itself is exempt via config):
+
+* direct numpy allocator calls (``np.zeros``, ``np.empty``, ``np.ones``,
+  ``np.full``, their ``*_like`` variants and ``np.arange``);
+* ``.append(...)`` calls inside a loop body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+_NUMPY_MODULES = frozenset({"np", "numpy"})
+_ALLOCATORS = frozenset({
+    "zeros", "empty", "ones", "full",
+    "zeros_like", "empty_like", "ones_like", "full_like",
+    "arange",
+})
+
+_ALLOC_HINT = ("allocate cohort state through repro.ota.fleet.buffers "
+               "so the dtype policy stays auditable")
+_APPEND_HINT = ("keep per-node state in preallocated cohort arrays "
+                "instead of growing Python lists per node")
+
+
+def _is_numpy_allocator(node: ast.Call) -> str | None:
+    """The allocator name when ``node`` is ``np.<allocator>(...)``."""
+    func = node.func
+    if (isinstance(func, ast.Attribute) and func.attr in _ALLOCATORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _NUMPY_MODULES):
+        return func.attr
+    return None
+
+
+def _inside_loop(ctx: FileContext, node: ast.AST) -> bool:
+    return any(isinstance(ancestor, (ast.For, ast.While))
+               for ancestor in ctx.ancestors(node))
+
+
+@register
+class FleetBufferDisciplineRule(FileRule):
+    """Cohort arrays come from the fleet buffer helpers, not raw numpy."""
+
+    rule_id = "REPRO010"
+    name = "fleet-buffer-discipline"
+    description = ("fleet cohort state must be allocated via the "
+                   "repro.ota.fleet.buffers helpers, never ad-hoc "
+                   "numpy allocators or per-node Python lists")
+    default_scope = ("*/repro/ota/fleet/*.py",)
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            allocator = _is_numpy_allocator(node)
+            if allocator is not None:
+                yield Finding(
+                    rule_id=self.rule_id, path=ctx.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"raw numpy allocator "
+                             f"'np.{allocator}(...)' bypasses the fleet "
+                             "cohort buffer helpers"),
+                    hint=_ALLOC_HINT)
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "append"
+                    and _inside_loop(ctx, node)):
+                yield Finding(
+                    rule_id=self.rule_id, path=ctx.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    message=("per-node list grown with '.append' inside "
+                             "a loop defeats the cohort layout"),
+                    hint=_APPEND_HINT)

@@ -7,6 +7,7 @@ Gives shell access to the experiments a testbed operator runs most:
 * ``repro sweep-lora`` - chirp SER vs RSSI for a LoRa configuration.
 * ``repro sweep-ble`` - BLE beacon BER vs RSSI.
 * ``repro campaign`` - OTA-program a simulated campus testbed.
+* ``repro fleet`` - vectorized fleet-scale OTA campaign (100k+ nodes).
 * ``repro adr`` - rate-adaptation study across the deployment.
 
 Install the package and run ``python -m repro.cli <command>``.
@@ -104,6 +105,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if durations.size == args.nodes else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.ota.fleet import (
+        FleetBurstLoss,
+        FleetCampaignConfig,
+        run_fleet_campaign_sharded,
+        write_fleet_spill,
+    )
+
+    config = FleetCampaignConfig(
+        num_nodes=args.nodes, image_bytes=args.image_bytes, seed=args.seed,
+        loss=FleetBurstLoss() if args.loss else None,
+        verify_failure_prob=args.verify_failure_prob)
+    report = run_fleet_campaign_sharded(config, shards=args.shards,
+                                        processes=args.processes)
+    print(f"fleet campaign: {args.nodes} nodes, "
+          f"{config.num_fragments} fragments x {args.image_bytes} B image, "
+          f"seed {args.seed}, {args.shards} shard(s)")
+    for label, count in report.outcome_counts().items():
+        print(f"  {label:12s} {count:>9d}")
+    print(f"  {'events':12s} {report.total_events:>9d}")
+    print(f"  {'energy':12s} {report.total_energy_j:>11.1f} J")
+    if args.spill:
+        stats = write_fleet_spill(report, args.spill)
+        print(f"  spilled {stats['rows_written']} rows to {args.spill} "
+              f"({stats['max_buffered']} max resident)")
+    abandoned = report.outcome_counts()["abandoned"]
+    return 0 if abandoned < args.nodes else 1
+
+
 def _cmd_adr(args: argparse.Namespace) -> int:
     from repro.protocols.lorawan.adr import fixed_rate_cost, simulate_adr
     from repro.testbed import campus_deployment
@@ -164,6 +194,28 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--nodes", type=int, default=20)
     campaign.add_argument("--seed", type=int, default=0)
     campaign.set_defaults(func=_cmd_campaign)
+
+    fleet = sub.add_parser("fleet",
+                           help="vectorized fleet-scale OTA campaign")
+    fleet.add_argument("--nodes", type=int, default=100_000)
+    fleet.add_argument("--image-bytes", type=int, default=1800,
+                       help="update image size (fragmented for transfer)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--shards", type=int, default=1,
+                       help="contiguous node ranges simulated separately "
+                            "(results are shard-count invariant)")
+    fleet.add_argument("--processes", type=int, default=None,
+                       help="multiprocessing pool size (default: "
+                            "run shards sequentially in-process)")
+    fleet.add_argument("--loss", action="store_true",
+                       help="enable the bursty-loss downlink channel")
+    fleet.add_argument("--verify-failure-prob", type=float, default=0.0,
+                       help="post-transfer image verification failure "
+                            "probability (drives rollbacks)")
+    fleet.add_argument("--spill", default=None, metavar="PATH",
+                       help="stream the campaign report to this JSONL "
+                            "file via the bounded-memory writer")
+    fleet.set_defaults(func=_cmd_fleet)
 
     adr = sub.add_parser("adr", help="rate-adaptation study")
     adr.add_argument("--seed", type=int, default=0)

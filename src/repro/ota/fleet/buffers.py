@@ -1,0 +1,74 @@
+"""Cohort buffer allocation for the fleet engine (struct-of-arrays).
+
+Every per-node state vector the fleet engine keeps — fragment counters,
+retry budgets, flash bank status, RNG counters, energy accumulators —
+is allocated here and nowhere else.  Centralizing allocation keeps the
+cohort layout auditable (one dtype policy, one zero-fill policy) and is
+enforced by reprolint REPRO010: modules under ``repro/ota/fleet`` may
+not call the raw numpy allocators or grow per-node Python lists; they
+request named buffers from this module instead.
+
+dtypes are deliberate: ``int64`` counters (exact up to 2**53 when later
+multiplied into float64 accounting), ``uint64`` for the wrap-around
+counter-based RNG lanes, ``int8`` for small enums (outcomes, flash
+banks), ``bool_`` for active masks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _check_size(size: int) -> None:
+    if size < 0:
+        raise ConfigurationError(f"buffer size must be >= 0, got {size}")
+
+
+def counters_i64(size: int) -> np.ndarray:
+    """Zeroed per-node event counters (``int64``)."""
+    _check_size(size)
+    return np.zeros(size, dtype=np.int64)
+
+
+def counters_u64(size: int) -> np.ndarray:
+    """Zeroed per-node RNG draw counters (``uint64``, wrap-around)."""
+    _check_size(size)
+    return np.zeros(size, dtype=np.uint64)
+
+
+def accumulators_f64(size: int) -> np.ndarray:
+    """Zeroed per-node float accumulators (``float64``)."""
+    _check_size(size)
+    return np.zeros(size, dtype=np.float64)
+
+
+def flags_bool(size: int, fill: bool = False) -> np.ndarray:
+    """Per-node boolean flags (active masks, burst-loss state)."""
+    _check_size(size)
+    return np.full(size, fill, dtype=np.bool_)
+
+
+def codes_i8(size: int, fill: int = 0) -> np.ndarray:
+    """Per-node small-enum codes (outcomes, flash bank status)."""
+    _check_size(size)
+    return np.full(size, fill, dtype=np.int8)
+
+
+def full_i64(size: int, fill: int) -> np.ndarray:
+    """Per-node ``int64`` counters starting from a common value."""
+    _check_size(size)
+    return np.full(size, fill, dtype=np.int64)
+
+
+def node_ids(start: int, stop: int) -> np.ndarray:
+    """The contiguous node-id lane ``[start, stop)`` (``int64``).
+
+    Raises:
+        ConfigurationError: for a reversed range.
+    """
+    if stop < start:
+        raise ConfigurationError(
+            f"node range [{start}, {stop}) is reversed")
+    return np.arange(start, stop, dtype=np.int64)

@@ -105,6 +105,17 @@ class ThroughputReport:
         """Record a measurement under ``group``/``variant``."""
         self.results.setdefault(group, {})[variant] = result
 
+    def annotate(self, entry: str, **extra: Any) -> None:
+        """Attach per-entry metadata under ``metadata["entries"][entry]``.
+
+        Entry annotations (plan-cache stats, RSS snapshots, ...) live in
+        the report-level metadata block rather than inside ``results``
+        so throughput consumers iterating a group's variants never see a
+        non-measurement dict.
+        """
+        entries = self.metadata.setdefault("entries", {})
+        entries.setdefault(entry, {}).update(extra)
+
     def speedup(self, group: str) -> float | None:
         """``fast`` over ``reference`` throughput ratio, if both exist."""
         variants = self.results.get(group, {})

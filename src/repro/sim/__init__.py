@@ -14,6 +14,14 @@ integrals are computed on:
 * :mod:`repro.sim.trace` — JSONL and Chrome ``trace_event`` exporters
   so a campaign can be inspected in a flame-graph viewer, plus the
   JSONL reader that round-trips a ledger.
+* :mod:`repro.sim.stream` — fleet-scale aggregation: hierarchical
+  :class:`~repro.sim.stream.TimelineRollup` aggregates and the
+  bounded-memory :class:`~repro.sim.stream.StreamingLedgerWriter`
+  JSONL spill, so a 100k-node campaign's ledger never has to
+  materialize in RAM.
+* :func:`~repro.sim.timeline.merge_timelines` — ``heapq``-based k-way
+  merge of many per-node ledgers into one chronological trace (with
+  its re-sorting ``merge_timelines_reference`` parity twin).
 
 The protocol, MCU, FPGA, power and testbed layers all emit events into
 a ``Timeline`` instead of keeping private ``clock +=`` accumulators;
@@ -55,7 +63,17 @@ from repro.sim.events import (
     WATCHDOG_RESET,
     SimEvent,
 )
-from repro.sim.timeline import Timeline
+from repro.sim.stream import (
+    RollupBin,
+    StreamingLedgerWriter,
+    TimelineRollup,
+    read_jsonl_records,
+)
+from repro.sim.timeline import (
+    Timeline,
+    merge_timelines,
+    merge_timelines_reference,
+)
 from repro.sim.trace import (
     from_jsonl,
     to_chrome_trace,
@@ -96,9 +114,15 @@ __all__ = [
     "SCHEDULER_FIRE",
     "SLEEP",
     "WATCHDOG_RESET",
+    "RollupBin",
     "SimEvent",
+    "StreamingLedgerWriter",
     "Timeline",
+    "TimelineRollup",
     "from_jsonl",
+    "merge_timelines",
+    "merge_timelines_reference",
+    "read_jsonl_records",
     "to_chrome_trace",
     "to_jsonl",
     "write_chrome_trace",

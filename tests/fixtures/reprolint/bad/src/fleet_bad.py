@@ -1,0 +1,18 @@
+"""Ad-hoc cohort allocation the fleet buffer rule must flag."""
+
+import numpy as np
+
+
+def make_cohort(num_nodes):
+    fragments = np.zeros(num_nodes)
+    attempts = np.full(num_nodes, 1)
+    ids = np.arange(num_nodes)
+    outcomes = np.empty_like(ids)
+    return fragments, attempts, ids, outcomes
+
+
+def collect(reports):
+    rows = []
+    for report in reports:
+        rows.append(report)
+    return rows

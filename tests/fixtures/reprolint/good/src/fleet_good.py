@@ -1,0 +1,17 @@
+"""Cohort allocation through the sanctioned buffer helpers."""
+
+from repro.ota.fleet import buffers
+
+
+def make_cohort(num_nodes):
+    fragments = buffers.counters_i64(num_nodes)
+    attempts = buffers.full_i64(num_nodes, 1)
+    ids = buffers.node_ids(0, num_nodes)
+    return fragments, attempts, ids
+
+
+def collect(reports):
+    rows = buffers.counters_i64(len(reports))
+    for index, report in enumerate(reports):
+        rows[index] = report
+    return rows

@@ -1,4 +1,4 @@
-"""Golden-fixture tests for the nine reprolint rules.
+"""Golden-fixture tests for the ten reprolint rules.
 
 The fixtures under ``tests/fixtures/reprolint/`` form two miniature
 projects: ``bad`` contains one file per rule engineered to trip it at
@@ -22,7 +22,8 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures" / "reprolint"
 #: Scope overrides pointing the module-scoped rules at the fixtures.
 FIXTURE_CONFIG = LintConfig(
     rule_scopes={"REPRO004": ("*dtype_*.py",),
-                 "REPRO006": ("*prov_*.py",)})
+                 "REPRO006": ("*prov_*.py",),
+                 "REPRO010": ("*fleet_*.py",)})
 
 EXPECTED_BAD = {
     ("REPRO001", "src/rng_bad.py", 6),
@@ -51,6 +52,11 @@ EXPECTED_BAD = {
     ("REPRO009", "src/faults_bad.py", 8),
     ("REPRO009", "src/faults_bad.py", 9),
     ("REPRO009", "src/faults_bad.py", 10),
+    ("REPRO010", "src/fleet_bad.py", 7),
+    ("REPRO010", "src/fleet_bad.py", 8),
+    ("REPRO010", "src/fleet_bad.py", 9),
+    ("REPRO010", "src/fleet_bad.py", 10),
+    ("REPRO010", "src/fleet_bad.py", 17),
 }
 
 ALL_RULE_IDS = sorted({rule for rule, _, _ in EXPECTED_BAD})
@@ -90,12 +96,14 @@ def test_findings_carry_hints_and_messages():
 
 
 def test_scope_override_limits_module_scoped_rules():
-    # Without the fixture scope overrides, the dtype and provenance
-    # rules keep their repo-layout default scopes and see nothing here.
+    # Without the fixture scope overrides, the dtype, provenance and
+    # fleet-buffer rules keep their repo-layout default scopes and see
+    # nothing here.
     findings = _run("bad", LintConfig())
     rules = {f.rule_id for f in findings}
     assert "REPRO004" not in rules
     assert "REPRO006" not in rules
+    assert "REPRO010" not in rules
     assert {"REPRO001", "REPRO002", "REPRO003",
             "REPRO005", "REPRO007", "REPRO009"} <= rules
 

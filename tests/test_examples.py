@@ -31,6 +31,7 @@ SLOW_EXAMPLES = [
     "ota_testbed_campaign.py",
     "concurrent_reception.py",
     "lora_link_simulation.py",
+    "fleet_campaign.py",
 ]
 
 

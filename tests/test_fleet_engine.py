@@ -1,0 +1,180 @@
+"""Parity and invariants of the vectorized fleet campaign engine.
+
+The PR-1 discipline applied at fleet scale: ``run_fleet_campaign`` (the
+vectorized cohort stepper) and ``run_fleet_campaign_reference`` (a
+plain per-node Python loop over the identical draw order) must agree
+bit for bit on every per-node array, and the closed-form accounting
+must reconcile with both the rollup and the event-level per-node
+timeline reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ota.fleet import (
+    FleetBurstLoss,
+    FleetCampaignConfig,
+    fleet_packet_error_probability,
+    prepare_links,
+    run_fleet_campaign,
+    run_fleet_campaign_reference,
+    simulate_node_timeline,
+    write_fleet_spill,
+)
+from repro.radio.sx1276 import packet_error_probability
+from repro.sim import TimelineRollup, read_jsonl_records
+
+PER_NODE_ARRAYS = (
+    "node_ids", "outcome_codes", "fragments", "attempts", "data_rx_full",
+    "data_rx_tail", "timeouts", "acks_tx", "forced_losses",
+    "session_failures", "resumes", "flash_bank", "duration_s", "energy_j",
+    "events_per_node",
+)
+
+CLEAN = FleetCampaignConfig(num_nodes=24, image_bytes=1800, seed=3)
+LOSSY = FleetCampaignConfig(
+    num_nodes=24, image_bytes=1800, seed=5, max_rounds_per_fragment=6,
+    loss=FleetBurstLoss(p_enter_bad=0.25, p_exit_bad=0.2,
+                        loss_bad=0.9, loss_good=0.01),
+    verify_failure_prob=0.2)
+HARSH = FleetCampaignConfig(
+    num_nodes=24, image_bytes=900, seed=11, max_rounds_per_fragment=4,
+    max_session_attempts=2,
+    loss=FleetBurstLoss(p_enter_bad=0.35, p_exit_bad=0.15,
+                        loss_bad=0.97, loss_good=0.02),
+    verify_failure_prob=0.1)
+MCU_IMAGE = FleetCampaignConfig(num_nodes=12, image_bytes=700, seed=9,
+                                is_fpga_image=False,
+                                loss=FleetBurstLoss())
+
+ALL_CONFIGS = (CLEAN, LOSSY, HARSH, MCU_IMAGE)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS,
+                         ids=["clean", "lossy", "harsh", "mcu"])
+def test_vectorized_engine_matches_reference_bitwise(config):
+    fast = run_fleet_campaign(config)
+    reference = run_fleet_campaign_reference(config)
+    for name in PER_NODE_ARRAYS:
+        assert np.array_equal(getattr(fast, name), getattr(reference, name)), \
+            name
+    assert fast.rollup == reference.rollup
+    assert fast.total_energy_j == reference.total_energy_j
+
+
+def test_pinned_campaign_golden():
+    # A full end-to-end pin: both engine twins drifting together would
+    # slip the parity test, so freeze one campaign's aggregate exactly.
+    report = run_fleet_campaign(LOSSY)
+    assert report.outcome_counts() == {
+        "succeeded": 3, "resumed": 7, "rolled_back": 3, "abandoned": 11}
+    assert report.total_events == int(np.sum(report.events_per_node))
+    assert report.rollup.total_events == report.total_events
+    golden = {
+        "total_events": 5159,
+        "fragments": 635,
+        "timeouts": 764,
+        "energy_hex": "0x1.d91cf59bc1d96p+3",
+    }
+    assert report.total_events == golden["total_events"]
+    assert int(np.sum(report.fragments)) == golden["fragments"]
+    assert int(np.sum(report.timeouts)) == golden["timeouts"]
+    assert float(report.total_energy_j).hex() == golden["energy_hex"]
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS,
+                         ids=["clean", "lossy", "harsh", "mcu"])
+def test_node_timeline_reconstruction_is_event_exact(config):
+    report = run_fleet_campaign(config)
+    plan = prepare_links(config)
+    for node in range(0, config.num_nodes, 5):
+        timeline = simulate_node_timeline(config, node, plan=plan)
+        assert len(timeline) == report.events_per_node[node]
+        assert timeline.time_s(advancing_only=True) \
+            == pytest.approx(report.duration_s[node], rel=1e-12)
+        assert timeline.total_energy_j() \
+            == pytest.approx(report.energy_j[node], rel=1e-12)
+
+
+def test_rollup_reconciles_with_per_node_arrays():
+    report = run_fleet_campaign(LOSSY)
+    rollup = report.rollup
+    assert rollup.count("packet.rx") == int(np.sum(report.data_rx_full)
+                                            + np.sum(report.data_rx_tail))
+    assert rollup.count("packet.timeout") == int(np.sum(report.timeouts))
+    assert rollup.count("packet.tx") == int(np.sum(report.acks_tx))
+    assert rollup.count("fault.loss") == int(np.sum(report.forced_losses))
+    assert rollup.count("ota.rollback") \
+        == report.outcome_counts()["rolled_back"]
+    assert rollup.total_energy_j \
+        == pytest.approx(report.total_energy_j, rel=1e-12)
+
+
+def test_completed_nodes_commit_the_update_bank():
+    report = run_fleet_campaign(LOSSY)
+    outcomes = np.asarray(report.outcomes())
+    assert np.all(report.flash_bank[outcomes == "succeeded"] == 1)
+    assert np.all(report.flash_bank[outcomes == "rolled_back"] == 0)
+    assert np.all(report.fragments[outcomes == "succeeded"]
+                  == LOSSY.num_fragments)
+
+
+def test_harsh_campaign_exercises_retry_paths():
+    report = run_fleet_campaign(HARSH)
+    assert int(np.sum(report.session_failures)) > 0
+    assert int(np.sum(report.resumes)) > 0
+    assert np.any(report.attempts > 1)
+
+
+def test_vectorized_per_matches_scalar_model():
+    config = CLEAN
+    params = config.params
+    rssi = np.linspace(-140.0, -40.0, 41)
+    vector = fleet_packet_error_probability(params, rssi, 68)
+    for dbm, per in zip(rssi, vector):
+        assert float(per) == pytest.approx(
+            packet_error_probability(params, float(dbm), 68), rel=1e-12)
+
+
+def test_mcu_image_skips_fpga_configuration():
+    report = run_fleet_campaign(MCU_IMAGE)
+    assert report.rollup.count("fpga.config") == 0
+    assert report.rollup.count("mcu.decompress") \
+        == report.outcome_counts()["succeeded"] \
+        + report.outcome_counts()["resumed"] \
+        + report.outcome_counts()["rolled_back"]
+
+
+def test_fleet_spill_round_trips_with_bounded_buffer(tmp_path):
+    report = run_fleet_campaign(LOSSY)
+    path = tmp_path / "fleet.jsonl"
+    stats = write_fleet_spill(report, path, buffer_rows=16)
+    assert stats["max_buffered"] <= 16
+    rows = list(read_jsonl_records(path))
+    assert stats["rows_written"] == len(rows)
+    header, = [row for row in rows if row["record"] == "fleet-campaign"]
+    assert header["total_events"] == report.total_events
+    assert header["outcomes"] == report.outcome_counts()
+    nodes = [row for row in rows if row["record"] == "node"]
+    assert len(nodes) == report.num_nodes
+    assert [row["node"] for row in nodes] == list(range(report.num_nodes))
+    rebuilt = TimelineRollup.from_rows(
+        [row for row in rows if row["record"] == "rollup"])
+    assert rebuilt == report.rollup
+
+
+def test_config_validation_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        FleetCampaignConfig(num_nodes=0, image_bytes=100)
+    with pytest.raises(ConfigurationError):
+        FleetCampaignConfig(num_nodes=1, image_bytes=0)
+    with pytest.raises(ConfigurationError):
+        FleetCampaignConfig(num_nodes=1, image_bytes=100,
+                            verify_failure_prob=1.5)
+    with pytest.raises(ConfigurationError):
+        FleetBurstLoss(p_enter_bad=-0.1)
+    with pytest.raises(ConfigurationError):
+        simulate_node_timeline(CLEAN, CLEAN.num_nodes)

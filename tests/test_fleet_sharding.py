@@ -1,0 +1,99 @@
+"""Shard-count invariance of the fleet campaign engine.
+
+The ISSUE-6 determinism contract: because every node's randomness is
+keyed by ``(seed, node_id, draw_index)``, partitioning the fleet across
+any number of shards — or any size of process pool — must produce
+bit-identical per-node outcomes and bit-identical energy totals.
+Hypothesis sweeps seeds and shard counts; a fork-pool test pins the
+multiprocessing path to the same results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ota.fleet import (
+    FleetBurstLoss,
+    FleetCampaignConfig,
+    run_fleet_campaign,
+    run_fleet_campaign_sharded,
+    shard_ranges,
+)
+
+COMPARED_ARRAYS = (
+    "outcome_codes", "fragments", "attempts", "data_rx_full",
+    "data_rx_tail", "timeouts", "acks_tx", "forced_losses",
+    "session_failures", "resumes", "flash_bank", "duration_s", "energy_j",
+    "events_per_node",
+)
+
+
+def _config(seed: int, num_nodes: int = 30) -> FleetCampaignConfig:
+    return FleetCampaignConfig(
+        num_nodes=num_nodes, image_bytes=1200, seed=seed,
+        max_rounds_per_fragment=8,
+        loss=FleetBurstLoss(p_enter_bad=0.2, p_exit_bad=0.25,
+                            loss_bad=0.85, loss_good=0.01),
+        verify_failure_prob=0.1)
+
+
+def _assert_identical(left, right) -> None:
+    for name in COMPARED_ARRAYS:
+        assert np.array_equal(getattr(left, name), getattr(right, name)), \
+            name
+    assert left.total_energy_j == right.total_energy_j
+    assert left.rollup == right.rollup
+
+
+@pytest.mark.parametrize("shards", [1, 2, 8])
+def test_issue_shard_counts_give_identical_results(shards):
+    # The acceptance scenario verbatim: 1, 2 and 8 shards, same seeded
+    # campaign, identical per-node outcomes and bit-identical energy.
+    config = _config(seed=2020)
+    _assert_identical(run_fleet_campaign(config),
+                      run_fleet_campaign_sharded(config, shards=shards))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32),
+       shards=st.integers(min_value=1, max_value=12),
+       num_nodes=st.integers(min_value=1, max_value=40))
+def test_sharding_is_invariant_over_seeds_and_counts(seed, shards,
+                                                     num_nodes):
+    config = _config(seed=seed, num_nodes=num_nodes)
+    _assert_identical(run_fleet_campaign(config),
+                      run_fleet_campaign_sharded(config, shards=shards))
+
+
+def test_more_shards_than_nodes_is_fine():
+    config = _config(seed=1, num_nodes=5)
+    _assert_identical(run_fleet_campaign(config),
+                      run_fleet_campaign_sharded(config, shards=16))
+
+
+def test_process_pool_matches_in_process_results():
+    config = _config(seed=2020)
+    _assert_identical(run_fleet_campaign(config),
+                      run_fleet_campaign_sharded(config, shards=4,
+                                                 processes=2))
+
+
+def test_shard_ranges_partition_the_id_space():
+    ranges = shard_ranges(10, 3)
+    assert ranges == [(0, 4), (4, 7), (7, 10)]
+    assert shard_ranges(2, 4) == [(0, 1), (1, 2), (2, 2), (2, 2)]
+    flat = [i for lo, hi in shard_ranges(97, 7) for i in range(lo, hi)]
+    assert flat == list(range(97))
+    sizes = {hi - lo for lo, hi in shard_ranges(97, 7)}
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_shard_validation():
+    with pytest.raises(ConfigurationError):
+        shard_ranges(10, 0)
+    with pytest.raises(ConfigurationError):
+        run_fleet_campaign_sharded(_config(seed=0), shards=2, processes=0)

@@ -1,0 +1,176 @@
+"""Streaming timeline machinery: rollups, spill writer, k-way merge.
+
+Covers the three fleet-scale primitives in :mod:`repro.sim`:
+hierarchical :class:`TimelineRollup` aggregates (associative merges,
+ledger equivalence, row round-trips), the bounded-memory
+:class:`StreamingLedgerWriter` JSONL spill, and the ``heapq``-based
+``merge_timelines`` against its concatenate-and-sort
+``merge_timelines_reference`` parity twin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    FLASH_BUSY,
+    PACKET_RX,
+    PACKET_TX,
+    RollupBin,
+    StreamingLedgerWriter,
+    Timeline,
+    TimelineRollup,
+    merge_timelines,
+    merge_timelines_reference,
+    read_jsonl_records,
+)
+
+
+def _sample_timeline(offset: float = 0.0, events: int = 5) -> Timeline:
+    timeline = Timeline()
+    timeline.advance_to(offset)
+    for index in range(events):
+        timeline.record(PACKET_RX, "node_radio", label=f"seq={index}",
+                        duration_s=0.25, power_w=0.04)
+        timeline.record(PACKET_TX, "node_radio", duration_s=0.05,
+                        power_w=0.12)
+    return timeline
+
+
+# -- rollups ---------------------------------------------------------------
+
+
+def test_rollup_aggregates_and_queries():
+    rollup = TimelineRollup()
+    rollup.add(PACKET_RX, "node_radio", count=3, time_s=0.75,
+               energy_j=0.03)
+    rollup.add(PACKET_RX, "node_radio", count=2, time_s=0.5,
+               energy_j=0.02)
+    rollup.add(PACKET_TX, "node_radio", count=1, time_s=0.05)
+    assert rollup.count(PACKET_RX) == 5
+    assert rollup.time_s(PACKET_RX) == pytest.approx(1.25)
+    assert rollup.count(PACKET_RX, "node_radio") == 5
+    assert rollup.count(PACKET_RX, "flash") == 0
+    assert rollup.total_events == 6
+    assert rollup.by_kind() == {PACKET_RX: 5, PACKET_TX: 1}
+
+
+def test_rollup_matches_ledger_replay():
+    timeline = _sample_timeline()
+    rollup = TimelineRollup.from_timeline(timeline)
+    assert rollup.count(PACKET_RX) == timeline.count(kinds={PACKET_RX})
+    assert rollup.time_s(PACKET_RX) \
+        == timeline.time_s(kinds={PACKET_RX})
+    assert rollup.total_energy_j == pytest.approx(
+        timeline.total_energy_j())
+    assert rollup.total_events == len(timeline)
+
+
+def test_rollup_merge_is_associative_in_fixed_order():
+    parts = [TimelineRollup.from_timeline(_sample_timeline(events=n))
+             for n in (3, 5, 7)]
+    merged = TimelineRollup()
+    for part in parts:
+        merged.merge(part)
+    whole = TimelineRollup()
+    for part in parts:
+        for (kind, component), cell in part.bins.items():
+            whole.add(kind, component, count=cell.count,
+                      time_s=cell.time_s, energy_j=cell.energy_j)
+    assert merged == whole
+    assert merged.total_events == 2 * (3 + 5 + 7)
+
+
+def test_rollup_rows_round_trip():
+    rollup = TimelineRollup.from_timeline(_sample_timeline())
+    rollup.add(FLASH_BUSY, "flash", count=2, time_s=0.01, energy_j=0.001)
+    rebuilt = TimelineRollup.from_rows(rollup.to_rows())
+    assert rebuilt == rollup
+    with pytest.raises(ConfigurationError):
+        TimelineRollup.from_rows([{"record": "node"}])
+
+
+def test_rollup_rejects_negative_input():
+    rollup = TimelineRollup()
+    with pytest.raises(ConfigurationError):
+        rollup.add(PACKET_RX, "node_radio", count=-1)
+    with pytest.raises(ConfigurationError):
+        rollup.add(PACKET_RX, "node_radio", time_s=-0.5)
+    assert RollupBin(1, 0.5, 0.01) == RollupBin(1, 0.5, 0.01)
+    assert RollupBin(1, 0.5, 0.01) != RollupBin(2, 0.5, 0.01)
+
+
+# -- streaming spill -------------------------------------------------------
+
+
+def test_streaming_writer_bounds_resident_rows(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    with StreamingLedgerWriter(path, buffer_rows=8) as writer:
+        for index in range(100):
+            writer.write_row({"record": "node", "node": index})
+        assert writer.max_buffered <= 8
+    rows = list(read_jsonl_records(path))
+    assert writer.rows_written == 100
+    assert [row["node"] for row in rows] == list(range(100))
+
+
+def test_streaming_writer_rejects_use_after_close(tmp_path):
+    writer = StreamingLedgerWriter(tmp_path / "x.jsonl")
+    writer.write_row({"record": "a"})
+    writer.close()
+    writer.close()  # idempotent
+    with pytest.raises(ConfigurationError):
+        writer.write_row({"record": "b"})
+    with pytest.raises(ConfigurationError):
+        StreamingLedgerWriter(tmp_path / "y.jsonl", buffer_rows=0)
+
+
+def test_reader_rejects_non_object_rows(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"record": "ok"}\n[1, 2, 3]\n')
+    with pytest.raises(ConfigurationError):
+        list(read_jsonl_records(path))
+
+
+# -- k-way timeline merge --------------------------------------------------
+
+
+def test_merge_timelines_matches_reference_parity():
+    timelines = [_sample_timeline(events=n) for n in (4, 2, 6)]
+    offsets = [0.0, 10.0, 0.5]
+    fast = merge_timelines(timelines, offsets)
+    reference = merge_timelines_reference(timelines, offsets)
+    assert fast.events == reference.events
+    assert fast.now_s == reference.now_s
+    starts = [event.t_start_s for event in fast]
+    assert starts == sorted(starts)
+
+
+def test_merge_handles_out_of_order_concurrent_events():
+    # A non-advancing event recorded with an explicit earlier start (the
+    # concurrent-flash idiom) sits out of order inside its own ledger;
+    # the merge must still come out globally sorted and parity-exact.
+    timeline = _sample_timeline(events=3)
+    timeline.record(FLASH_BUSY, "flash", duration_s=0.4,
+                    energy_override_j=0.002, advance=False, t_start_s=0.0)
+    other = _sample_timeline(events=2)
+    fast = merge_timelines([timeline, other])
+    reference = merge_timelines_reference([timeline, other])
+    assert fast.events == reference.events
+    starts = [event.t_start_s for event in fast]
+    assert starts == sorted(starts)
+
+
+def test_merge_preserves_event_count_and_clock():
+    timelines = [_sample_timeline(events=n) for n in (1, 3, 5)]
+    merged = merge_timelines(timelines)
+    assert len(merged) == sum(len(t) for t in timelines)
+    assert merged.now_s == max(t.now_s for t in timelines)
+    assert all(not event.advanced for event in merged)
+
+
+def test_merge_rejects_mismatched_offsets():
+    with pytest.raises(ConfigurationError):
+        merge_timelines([_sample_timeline()], offsets_s=[0.0, 1.0])
+    assert len(merge_timelines([])) == 0
