@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint chaos check bench-hotpath bench-fleet bench-check bench-paper
+.PHONY: test lint semantic chaos check bench-hotpath bench-fleet bench-check bench-paper
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -19,9 +19,14 @@ chaos:
 lint:
 	$(PYTHON) -m repro.analysis src
 
-# Full gate: static analysis plus the perf-regression check, as CI
-# would run them.
-check: lint bench-check
+# Just the whole-program semantic rules, cold (no incremental cache):
+# determinism taint, parity-signature drift, shard safety.
+semantic:
+	$(PYTHON) -m repro.analysis src --select REPRO011,REPRO012,REPRO013 --no-cache
+
+# Full gate: static analysis (all rules plus a cold semantic pass) and
+# the perf-regression check, as CI would run them.
+check: lint semantic bench-check
 
 # Regenerate BENCH_hotpath.json at the repo root.
 bench-hotpath:

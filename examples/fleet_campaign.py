@@ -79,3 +79,14 @@ with tempfile.TemporaryDirectory() as tmp:
     size_kb = path.stat().st_size // 1024
     print(f"spilled {stats['rows_written']:,} rows ({size_kb:,} KiB) with "
           f"only {stats['max_buffered']} rows ever resident")
+
+# With REPRO_DETERMINISM=1 exported, re-prove the contract the hard
+# way: the same (scaled-down) campaign in two fresh interpreters under
+# different PYTHONHASHSEED values and shard counts must fingerprint
+# bit-identically across every result array and the rollup.
+from repro.analysis.determinism import check_from_env  # noqa: E402
+
+fingerprint = check_from_env(config)
+if fingerprint is not None:
+    print(f"\ndeterminism double-run: fingerprints matched "
+          f"({fingerprint[:16]})")

@@ -81,6 +81,27 @@ def load_baseline(path: Path) -> Counter:
     return counts
 
 
+def prune_missing(baseline: Counter,
+                  root: Path) -> tuple[Counter, list[tuple[str, str, str]]]:
+    """Drop baseline entries whose file no longer exists.
+
+    Historically the baseline silently kept grandfathered findings for
+    deleted files forever; those entries can never be observed again,
+    so they only hide real count regressions elsewhere.  Returns the
+    pruned counter and the removed fingerprints (sorted) so the CLI can
+    report how many were dropped.
+    """
+    kept: Counter = Counter()
+    removed: list[tuple[str, str, str]] = []
+    for fingerprint, count in baseline.items():
+        _, relpath, _ = fingerprint
+        if (root / relpath).is_file():
+            kept[fingerprint] = count
+        else:
+            removed.append(fingerprint)
+    return kept, sorted(removed)
+
+
 def apply_baseline(findings: list[Finding], baseline: Counter) -> BaselineResult:
     """Split findings into new vs baselined against ``baseline``.
 

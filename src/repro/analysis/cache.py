@@ -1,0 +1,145 @@
+"""Incremental lint cache: skip unchanged files on warm runs.
+
+Per-file rule results are cached in ``.reprolint_cache.json`` at the
+project root, keyed by the file's content hash.  A warm ``make lint``
+run re-executes the file rules only for files whose content changed;
+project rules (parity coverage, the semantic pass) always run, because
+their answers depend on the whole tree.
+
+The cache key bakes in the resolved configuration and the enabled
+file-rule set, so changing ``[tool.reprolint]``, ``--select`` /
+``--ignore``, or upgrading the analyzer invalidates every entry at
+once rather than serving stale findings.  ``--no-cache`` bypasses the
+cache entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.analysis.config import LintConfig
+    from repro.analysis.engine import Finding
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".reprolint_cache.json"
+
+#: Bump when rule logic changes in a way that should invalidate cached
+#: per-file findings without a config change.
+ANALYZER_GENERATION = "reprolint-v2"
+
+
+def file_digest(source: str) -> str:
+    """Content hash of one lint target."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def config_cache_key(config: "LintConfig",
+                     rule_ids: Iterable[str]) -> str:
+    """Digest of everything that changes per-file rule output."""
+    payload = {
+        "generation": ANALYZER_GENERATION,
+        "version": CACHE_VERSION,
+        "rules": sorted(rule_ids),
+        "select": sorted(config.select),
+        "ignore": sorted(config.ignore),
+        "exclude": list(config.exclude),
+        "units_threshold": config.units_threshold,
+        "scopes": {rule: list(patterns) for rule, patterns
+                   in sorted(config.rule_scopes.items())},
+        "exempt": {rule: list(patterns) for rule, patterns
+                   in sorted(config.rule_exempt.items())},
+    }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Per-file finding cache with hit/miss accounting.
+
+    Attributes:
+        path: on-disk location of the cache file.
+        key: the :func:`config_cache_key` this cache is valid for.
+        hits: files served from cache this run.
+        misses: files (re)analyzed this run.
+    """
+
+    def __init__(self, path: Path, key: str) -> None:
+        self.path = path
+        self.key = key
+        self.hits = 0
+        self.misses = 0
+        self._files: dict[str, dict] = {}
+
+    @classmethod
+    def load(cls, path: Path, key: str) -> "LintCache":
+        """Read a cache file; a missing/corrupt/mismatched one is empty."""
+        cache = cls(path, key)
+        if not path.is_file():
+            return cache
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            return cache
+        if (not isinstance(payload, dict)
+                or payload.get("version") != CACHE_VERSION
+                or payload.get("key") != key):
+            return cache
+        files = payload.get("files")
+        if isinstance(files, dict):
+            cache._files = files
+        return cache
+
+    def lookup(self, relpath: str,
+               digest: str) -> "list[Finding] | None":
+        """Cached findings for an unchanged file, else ``None``."""
+        from repro.analysis.engine import Finding
+
+        entry = self._files.get(relpath)
+        if not isinstance(entry, dict) or entry.get("sha256") != digest:
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding(rule_id=item["rule"], path=item["path"],
+                                line=int(item["line"]),
+                                col=int(item["col"]),
+                                message=item["message"],
+                                hint=item.get("hint", ""))
+                        for item in entry.get("findings", [])]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def store(self, relpath: str, digest: str,
+              findings: "Iterable[Finding]") -> None:
+        """Record the fresh per-file findings for ``relpath``."""
+        self._files[relpath] = {
+            "sha256": digest,
+            "findings": [
+                {"rule": f.rule_id, "path": f.path, "line": f.line,
+                 "col": f.col, "message": f.message, "hint": f.hint}
+                for f in findings
+            ],
+        }
+
+    def prune(self, keep: Iterable[str]) -> None:
+        """Drop entries for files no longer in the target set."""
+        wanted = set(keep)
+        self._files = {relpath: entry
+                       for relpath, entry in self._files.items()
+                       if relpath in wanted}
+
+    def save(self) -> None:
+        """Write the cache back to disk (best effort)."""
+        payload = {"version": CACHE_VERSION, "key": self.key,
+                   "files": dict(sorted(self._files.items()))}
+        try:
+            self.path.write_text(json.dumps(payload, indent=1) + "\n",
+                                 encoding="utf-8")
+        except OSError:  # pragma: no cover - read-only checkout
+            pass

@@ -14,6 +14,8 @@ from pathlib import Path
 
 from repro.analysis import baseline as baseline_mod
 from repro.analysis import reporting
+from repro.analysis.cache import (DEFAULT_CACHE_NAME, LintCache,
+                                  config_cache_key)
 from repro.analysis.config import LintConfig, load_config
 from repro.analysis.engine import all_rules, run_analysis
 from repro.errors import ReproError
@@ -39,8 +41,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="files or directories to lint (default: src)")
     parser.add_argument("--root", type=Path, default=None,
                         help="project root (default: nearest pyproject.toml)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="report format")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline file (default: from [tool.reprolint])")
     parser.add_argument("--no-baseline", action="store_true",
@@ -53,6 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule IDs to skip")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the incremental per-file result cache")
     return parser
 
 
@@ -79,7 +83,16 @@ def main(argv: list[str] | None = None) -> int:
             config = LintConfig(**{**config.__dict__,
                                    "ignore": config.ignore
                                    | _split_ids(args.ignore)})
-        findings = run_analysis(root, targets, config)
+        cache = None
+        if not args.no_cache:
+            cache = LintCache.load(
+                root / DEFAULT_CACHE_NAME,
+                config_cache_key(config, all_rules()))
+        findings = run_analysis(root, targets, config, cache=cache)
+        if cache is not None:
+            cache.save()
+            print(f"reprolint: cache {cache.hits} hit(s), "
+                  f"{cache.misses} miss(es)", file=sys.stderr)
         baseline_path = (args.baseline if args.baseline is not None
                          else root / config.baseline_path)
         if args.write_baseline:
@@ -90,12 +103,18 @@ def main(argv: list[str] | None = None) -> int:
             known = baseline_mod.Counter()
         else:
             known = baseline_mod.load_baseline(baseline_path)
+        known, pruned = baseline_mod.prune_missing(known, root)
+        if pruned:
+            print(f"reprolint: pruned {len(pruned)} baseline entr(y/ies) "
+                  f"for deleted files", file=sys.stderr)
         result = baseline_mod.apply_baseline(findings, known)
     except (ReproError, SyntaxError, OSError) as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(reporting.render_json(result))
+    elif args.format == "sarif":
+        print(reporting.render_sarif(result, all_rules()))
     else:
         print(reporting.render_text(result))
     return 1 if result.new else 0

@@ -1,0 +1,166 @@
+"""``REPRO_DETERMINISM=1``: double-run determinism diffing.
+
+The static taint pass (REPRO011) and shard-safety rule (REPRO013) catch
+nondeterminism the AST can see; this module catches the rest by
+construction.  It runs the same fleet campaign **twice in separate
+interpreters** under different ``PYTHONHASHSEED`` values and different
+shard counts, fingerprints everything each run produced (every per-node
+result array plus the hierarchical rollup), and raises
+:class:`~repro.analysis.sanitize.SanitizerError` unless the hashes are
+bit-identical.  A hash-seed difference flushes out any surviving
+dict/set iteration-order dependence; a shard-count difference flushes
+out any per-process accumulated state — the two runtime failure modes
+the fleet engine's ``(seed, node_id, draw_index)`` contract promises
+away.
+
+The check is wired into ``examples/fleet_campaign.py``: exporting
+``REPRO_DETERMINISM=1`` makes the example re-prove the contract on a
+scaled-down copy of its own campaign before reporting success.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.analysis.sanitize import SanitizerError, determinism_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.ota.fleet.config import FleetCampaignConfig
+    from repro.ota.fleet.engine import FleetReport
+
+#: Environment knobs the subprocess entry point reads.
+ENV_NODES = "REPRO_DET_NODES"
+ENV_IMAGE_BYTES = "REPRO_DET_IMAGE_BYTES"
+ENV_SEED = "REPRO_DET_SEED"
+ENV_VERIFY_P = "REPRO_DET_VERIFY_P"
+ENV_LOSS = "REPRO_DET_LOSS"
+ENV_SHARDS = "REPRO_DET_SHARDS"
+
+#: (PYTHONHASHSEED, shard count) pairs for the two runs.  Different
+#: hash seeds vary dict/set iteration order; different shard counts
+#: vary the node partition.  Bit-exactness must survive both.
+DEFAULT_RUNS: tuple[tuple[str, int], ...] = (("101", 1), ("202", 3))
+
+#: Node-count cap for the double run — enough nodes to exercise every
+#: outcome path while keeping the check a sub-second affair per run.
+DEFAULT_MAX_NODES = 2048
+
+
+def fleet_fingerprint(report: "FleetReport") -> str:
+    """Deterministic digest of everything a campaign produced.
+
+    Hashes every per-node result array (name, dtype, shape, raw bytes)
+    in field order plus the rollup's sorted spill rows, so any
+    divergence anywhere in the report changes the digest.
+    """
+    import numpy as np
+
+    digest = hashlib.sha256()
+    for field in dataclasses.fields(report):
+        value = getattr(report, field.name)
+        if not isinstance(value, np.ndarray):
+            continue
+        digest.update(field.name.encode())
+        digest.update(value.dtype.str.encode())
+        digest.update(str(value.shape).encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+    rows = json.dumps(report.rollup.to_rows(), sort_keys=True)
+    digest.update(rows.encode())
+    return digest.hexdigest()
+
+
+def _campaign_env(config: "FleetCampaignConfig",
+                  shards: int) -> dict[str, str]:
+    """Serialize the campaign knobs the subprocess rebuilds from."""
+    return {
+        ENV_NODES: str(config.num_nodes),
+        ENV_IMAGE_BYTES: str(config.image_bytes),
+        ENV_SEED: str(config.seed),
+        ENV_VERIFY_P: repr(config.verify_failure_prob),
+        ENV_LOSS: "burst" if config.loss is not None else "none",
+        ENV_SHARDS: str(shards),
+    }
+
+
+def _campaign_from_env(env: Mapping[str, str]) -> "FleetCampaignConfig":
+    from repro.ota.fleet.config import FleetBurstLoss, FleetCampaignConfig
+
+    loss = FleetBurstLoss() if env.get(ENV_LOSS) == "burst" else None
+    return FleetCampaignConfig(
+        num_nodes=int(env[ENV_NODES]),
+        image_bytes=int(env[ENV_IMAGE_BYTES]),
+        seed=int(env[ENV_SEED]),
+        verify_failure_prob=float(env[ENV_VERIFY_P]),
+        loss=loss)
+
+
+def _fingerprint_main() -> None:
+    """Subprocess entry: run the campaign from env, print the digest."""
+    from repro.ota.fleet.shard import run_fleet_campaign_sharded
+
+    config = _campaign_from_env(os.environ)
+    shards = int(os.environ.get(ENV_SHARDS, "1"))
+    # The env *is* the configuration channel here: the parent serialized
+    # the campaign knobs through it precisely so this run is replayable.
+    report = run_fleet_campaign_sharded(config, shards=shards)  # reprolint: disable=REPRO011
+    print(fleet_fingerprint(report))
+
+
+def double_run_check(config: "FleetCampaignConfig",
+                     runs: Sequence[tuple[str, int]] = DEFAULT_RUNS,
+                     max_nodes: int = DEFAULT_MAX_NODES) -> str:
+    """Run the campaign once per ``(hashseed, shards)`` pair and diff.
+
+    Returns the common fingerprint.
+
+    Raises:
+        SanitizerError: when any run's fingerprint diverges, or a run
+            fails outright.
+    """
+    import repro
+
+    if config.num_nodes > max_nodes:
+        config = dataclasses.replace(config, num_nodes=max_nodes)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    fingerprints: list[tuple[str, int, str]] = []
+    for hashseed, shards in runs:
+        env = dict(os.environ)
+        env.update(_campaign_env(config, shards))
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.analysis.determinism import _fingerprint_main; "
+             "_fingerprint_main()"],
+            env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise SanitizerError(
+                f"determinism run (hashseed={hashseed}, shards={shards}) "
+                f"failed: {proc.stderr.strip()[-500:]}")
+        fingerprints.append((hashseed, shards, proc.stdout.strip()))
+    distinct = {fp for _, _, fp in fingerprints}
+    if len(distinct) != 1:
+        detail = ", ".join(f"hashseed={h} shards={s} -> {fp[:16]}"
+                           for h, s, fp in fingerprints)
+        raise SanitizerError(
+            f"campaign is not run-deterministic: {detail}; some value "
+            f"depends on hash-seed iteration order or per-process state")
+    return fingerprints[0][2]
+
+
+def check_from_env(config: "FleetCampaignConfig",
+                   environ: Mapping[str, str] | None = None) -> str | None:
+    """Run :func:`double_run_check` when ``REPRO_DETERMINISM=1``.
+
+    Returns the fingerprint when the check ran, ``None`` otherwise.
+    """
+    if not determinism_enabled(environ):
+        return None
+    return double_run_check(config)

@@ -154,11 +154,26 @@ class Project:
         contexts: the lint targets.
         test_contexts: the parsed test corpus (never linted directly by
             file rules, but cross-referenced by coverage-style rules).
+        semantic_cell: shared lazy holder of the whole-program semantic
+            model, so every semantic rule in one run reuses one model
+            (built from the *full* target set, not one rule's scope).
+        semantic_origin: the unscoped parent project the model is built
+            from when this instance is a per-rule scoped view.
     """
 
     root: Path
     contexts: list[FileContext] = field(default_factory=list)
     test_contexts: list[FileContext] = field(default_factory=list)
+    semantic_cell: list = field(default_factory=list, repr=False)
+    semantic_origin: "Project | None" = field(default=None, repr=False)
+
+    def semantic(self):
+        """The cached :class:`~repro.analysis.semantic.SemanticModel`."""
+        if not self.semantic_cell:
+            from repro.analysis.semantic import build_model
+            self.semantic_cell.append(
+                build_model(self.semantic_origin or self))
+        return self.semantic_cell[0]
 
 
 class Rule:
@@ -289,32 +304,57 @@ def _relative_to_root(path: Path, root: Path) -> str:
 
 
 def run_analysis(root: Path, targets: Iterable[Path],
-                 config: LintConfig) -> list[Finding]:
+                 config: LintConfig,
+                 cache: "LintCache | None" = None) -> list[Finding]:
     """Run every enabled rule over the targets and return raw findings.
 
     Inline suppressions are honoured here; baseline filtering is the
-    caller's responsibility (see :mod:`repro.analysis.baseline`).
+    caller's responsibility (see :mod:`repro.analysis.baseline`).  With
+    a :class:`~repro.analysis.cache.LintCache`, per-file rule results
+    for content-unchanged files are served from the cache; project
+    rules always run (their answers span files).
     """
+    from repro.analysis.cache import file_digest
+
     project = load_project(root, targets, config)
     rules = [cls() for rule_id, cls in sorted(all_rules().items())
              if config.rule_enabled(rule_id)]
-    findings: list[Finding] = []
+    file_rules = [rule for rule in rules if isinstance(rule, FileRule)]
+    project_rules = [rule for rule in rules
+                     if isinstance(rule, ProjectRule)]
     for rule in rules:
-        if isinstance(rule, ProjectRule):
-            scoped = [ctx for ctx in project.contexts
-                      if rule.applies_to(ctx, config)]
-            sub = Project(root=project.root, contexts=scoped,
-                          test_contexts=project.test_contexts)
-            produced = list(rule.check_project(sub, config))
-        elif isinstance(rule, FileRule):
-            produced = []
-            for ctx in project.contexts:
-                if rule.applies_to(ctx, config):
-                    produced.extend(rule.check_file(ctx, config))
-        else:  # pragma: no cover - registry only holds the two kinds
+        if not isinstance(rule, (FileRule, ProjectRule)):
+            # pragma: no cover - registry only holds the two kinds
             raise ConfigurationError(
-                f"rule {rule.rule_id} is neither a FileRule nor a ProjectRule")
+                f"rule {rule.rule_id} is neither a FileRule nor a "
+                f"ProjectRule")
+    findings: list[Finding] = []
+    for ctx in project.contexts:
+        cached: list[Finding] | None = None
+        digest = ""
+        if cache is not None:
+            digest = file_digest(ctx.source)
+            cached = cache.lookup(ctx.relpath, digest)
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        produced: list[Finding] = []
+        for rule in file_rules:
+            if rule.applies_to(ctx, config):
+                produced.extend(rule.check_file(ctx, config))
+        if cache is not None:
+            cache.store(ctx.relpath, digest, produced)
         findings.extend(produced)
+    if cache is not None:
+        cache.prune(ctx.relpath for ctx in project.contexts)
+    for rule in project_rules:
+        scoped = [ctx for ctx in project.contexts
+                  if rule.applies_to(ctx, config)]
+        sub = Project(root=project.root, contexts=scoped,
+                      test_contexts=project.test_contexts,
+                      semantic_cell=project.semantic_cell,
+                      semantic_origin=project)
+        findings.extend(rule.check_project(sub, config))
     by_path = {ctx.relpath: ctx for ctx in project.contexts}
     kept = [finding for finding in findings
             if not (finding.path in by_path

@@ -17,7 +17,19 @@ REPRO008  accounting-discipline time/energy accumulate on the sim timeline
 REPRO009  fault-discipline      fault models constructed with explicit seeds
 REPRO010  fleet-buffer-discipline  fleet cohort arrays come from the
                                 buffer helpers, never ad-hoc allocation
+REPRO011  determinism-taint     no nondeterministic value reaches a
+                                ledger/SimEvent/plan-cache/buffer sink
+                                (whole-program dataflow)
+REPRO012  parity-signature-drift  twins keep matching signatures; dead
+                                (test-unreachable) twins flagged
+REPRO013  shard-safety          fleet-reachable code never touches
+                                function-mutated module-level state
 ========  ====================  ==========================================
+
+REPRO011-013 are *semantic* rules: they share one whole-program model
+(symbol table, call graph, taint summaries) built by
+:mod:`repro.analysis.semantic` from the same parsed ASTs the per-file
+rules use.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (registration side effects)
@@ -30,5 +42,8 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     parity,
     provenance,
     rng,
+    shardsafety,
+    signature,
+    taintflow,
     units,
 )

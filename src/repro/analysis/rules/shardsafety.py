@@ -1,0 +1,57 @@
+"""REPRO013 — shard safety of the fleet campaign engine.
+
+The fleet engine's contract (PR 5) is shard-count invariance: the same
+campaign split across any number of shards or worker processes lands
+on bit-identical results.  That only holds if nothing reachable from
+``run_fleet_campaign*`` touches module-level mutable state that
+function code mutates — such state accumulates *per process*, so its
+value at any node depends on which shard the node landed in and what
+ran before it in that worker.  This rule combines the call graph
+(reachability from the fleet entry points) with a module-state access
+scan: any read or write of a function-mutated module-level container
+inside fleet-reachable code is flagged.  Read-only module tables
+(populated at import time, never mutated by functions) stay legal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import Finding, Project, ProjectRule, register
+from repro.analysis.semantic.queries import shard_state_findings
+
+
+@register
+class ShardSafetyRule(ProjectRule):
+    """Fleet-reachable code must not touch mutated module state."""
+
+    rule_id = "REPRO013"
+    name = "shard-safety"
+    description = ("code reachable from run_fleet_campaign* must not read "
+                   "module-level mutable state that function code mutates "
+                   "(shard-count invariance)")
+
+    #: Entry points whose reachable set must stay shard-pure.
+    root_patterns = ("run_fleet_campaign*",)
+
+    def check_project(self, project: Project,
+                      config: LintConfig) -> Iterable[Finding]:
+        model = project.semantic()
+        scoped = {ctx.relpath for ctx in project.contexts}
+        for hazard in shard_state_findings(model, self.root_patterns):
+            access = hazard.access
+            if access.function.relpath not in scoped:
+                continue
+            verb = "mutates" if access.is_write else "reads"
+            writers = ", ".join(hazard.writers)
+            yield Finding(
+                rule_id=self.rule_id, path=access.function.relpath,
+                line=access.line, col=access.col,
+                message=(f"'{access.function.display}' (reachable from a "
+                         f"fleet entry point) {verb} module-level mutable "
+                         f"state '{access.binding}', which is mutated by: "
+                         f"{writers}"),
+                hint=("thread the state through the campaign config or "
+                      "per-shard buffers; module globals are per-process "
+                      "and break shard invariance"))

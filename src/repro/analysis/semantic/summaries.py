@@ -1,0 +1,80 @@
+"""Per-function taint summaries, iterated to a fixpoint.
+
+A :class:`FunctionSummary` answers, for one function, the two questions
+a caller needs without re-analysing the callee's body:
+
+* which parameters (by index) flow into the return value, and what
+  intrinsic taint the return value carries regardless of arguments;
+* which parameters flow into a determinism sink inside the callee (or
+  transitively inside anything *it* calls).
+
+:func:`compute_summaries` re-analyses every function against the
+current summary map until no summary changes (bounded by
+``MAX_ROUNDS``, far above the call-chain depth of this repo).  Sink
+hits are collected from one final pass with the stable summaries, so a
+source defined *after* its use site — or three modules away — is still
+charged at the sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.analysis.semantic.symbols import SymbolTable
+from repro.analysis.semantic.taint import SinkHit, TaintSet, analyze_function
+
+MAX_ROUNDS = 10
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Caller-visible taint behaviour of one function.
+
+    Attributes:
+        param_to_return: parameter indices whose taint reaches the
+            return value.
+        intrinsic_return: concrete taint the return value always
+            carries (sources inside the function or its callees).
+        param_to_sink: parameter index -> sink labels the parameter
+            reaches inside the function (transitively).
+    """
+
+    param_to_return: frozenset[int] = frozenset()
+    intrinsic_return: TaintSet = frozenset()
+    param_to_sink: Mapping[int, frozenset[str]] = field(
+        default_factory=dict)
+
+    def __hash__(self) -> int:  # Mapping field needs a manual hash
+        return hash((self.param_to_return, self.intrinsic_return,
+                     tuple(sorted((k, v) for k, v in
+                           self.param_to_sink.items()))))
+
+
+def compute_summaries(table: SymbolTable
+                      ) -> tuple[dict[str, FunctionSummary],
+                                 list[SinkHit]]:
+    """Fixpoint over all project functions.
+
+    Returns the stable summary map and the deduplicated sink hits from
+    the final round, sorted by location.
+    """
+    summaries: dict[str, FunctionSummary] = {}
+    order: Iterable[str] = sorted(table.functions)
+    hits: dict[tuple[str, int, int, str], SinkHit] = {}
+    for _ in range(MAX_ROUNDS):
+        changed = False
+        hits.clear()
+        for qualname in order:
+            summary, produced = analyze_function(
+                table.functions[qualname], table, summaries)
+            if summaries.get(qualname) != summary:
+                summaries[qualname] = summary
+                changed = True
+            for hit in produced:
+                hits[(hit.relpath, hit.line, hit.col, hit.sink)] = hit
+        if not changed:
+            break
+    ordered = sorted(hits.values(),
+                     key=lambda h: (h.relpath, h.line, h.col, h.sink))
+    return summaries, ordered

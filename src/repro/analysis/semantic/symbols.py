@@ -1,0 +1,226 @@
+"""Project-wide symbol table built from the engine's parsed ASTs.
+
+Every lint target contributes one :class:`ModuleSymbols`: its functions
+and methods as :class:`FunctionSymbol` records keyed by dotted qualname
+(``repro.ota.mac.run_stop_and_wait``,
+``repro.sim.timeline.Timeline.record``), its import aliases, and its
+module-level assignments.  The :class:`SymbolTable` stitches the
+modules together and resolves dotted references *through package
+re-exports*: ``from repro.ota.fleet import run_fleet_campaign`` lands
+on ``repro.ota.fleet.engine.run_fleet_campaign`` because the package
+``__init__`` re-exports it, and resolution follows that alias chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.astutil import (
+    assigned_names,
+    canonical_name,
+    import_aliases,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.engine import FileContext
+
+#: Leading path components stripped before a relpath becomes a module
+#: name (``src/repro/ota/mac.py`` -> ``repro.ota.mac``).
+_SOURCE_PREFIXES = ("src", "lib")
+
+#: Attribute names too generic for the unique-simple-name call
+#: fallback: ``payload.update(...)`` on a dict must not resolve to the
+#: one project method that happens to be called ``update``.  These are
+#: the stdlib container/IO protocol names.
+_COMMON_METHOD_NAMES = frozenset({
+    "add", "append", "clear", "close", "copy", "count", "discard",
+    "extend", "get", "index", "insert", "items", "join", "keys", "open",
+    "pop", "popitem", "put", "read", "remove", "reverse", "run", "send",
+    "setdefault", "sort", "split", "start", "stop", "strip", "update",
+    "values", "write",
+})
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a repo-relative POSIX path."""
+    parts = PurePosixPath(relpath).with_suffix("").parts
+    if parts and parts[0] in _SOURCE_PREFIXES:
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else relpath
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """One module-level function or class method.
+
+    Attributes:
+        qualname: dotted name, ``module.func`` or ``module.Class.func``.
+        module: dotted module name.
+        name: the bare function name.
+        class_name: enclosing class name, or ``None`` for free functions.
+        relpath: repo-relative path of the defining file.
+        node: the ``ast`` definition node.
+    """
+
+    qualname: str
+    module: str
+    name: str
+    class_name: str | None
+    relpath: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(compare=False,
+                                                        hash=False)
+
+    @property
+    def display(self) -> str:
+        """Short human name (``Class.func`` or ``func``)."""
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+
+class ModuleSymbols:
+    """Symbols defined by one module.
+
+    Attributes:
+        ctx: the engine :class:`~repro.analysis.engine.FileContext`.
+        module: dotted module name.
+        functions: qualname -> :class:`FunctionSymbol` (module-level
+            functions and class methods; nested defs belong to their
+            enclosing function's body).
+        aliases: local name -> canonical dotted target, from imports.
+        module_assigns: module-level bindings, name -> value AST node.
+    """
+
+    def __init__(self, ctx: "FileContext") -> None:
+        self.ctx = ctx
+        self.module = module_name_for(ctx.relpath)
+        self.aliases = import_aliases(ctx.tree)
+        self.functions: dict[str, FunctionSymbol] = {}
+        self.module_assigns: dict[str, ast.AST] = {}
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(stmt, class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        self._add_function(sub, class_name=stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for name in assigned_names(target):
+                        self.module_assigns[name] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                for name in assigned_names(stmt.target):
+                    self.module_assigns[name] = stmt.value
+
+    def _add_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                      class_name: str | None) -> None:
+        scope = f"{self.module}.{class_name}" if class_name else self.module
+        qualname = f"{scope}.{node.name}"
+        self.functions[qualname] = FunctionSymbol(
+            qualname=qualname, module=self.module, name=node.name,
+            class_name=class_name, relpath=self.ctx.relpath, node=node)
+
+
+class SymbolTable:
+    """All modules of a lint run, with cross-module name resolution."""
+
+    def __init__(self, modules: dict[str, ModuleSymbols]) -> None:
+        self.modules = modules
+        self.functions: dict[str, FunctionSymbol] = {}
+        self.by_simple_name: dict[str, list[FunctionSymbol]] = defaultdict(
+            list)
+        for mod in modules.values():
+            for symbol in mod.functions.values():
+                self.functions[symbol.qualname] = symbol
+                self.by_simple_name[symbol.name].append(symbol)
+
+    def _split_module(self, dotted: str) -> tuple[str | None, str]:
+        """Split ``dotted`` at its longest known-module prefix."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return prefix, ".".join(parts[cut:])
+        return None, dotted
+
+    def resolve_qualname(self, dotted: str) -> FunctionSymbol | None:
+        """Resolve a dotted reference, following re-export aliases."""
+        seen: set[str] = set()
+        current = dotted
+        while current not in seen:
+            seen.add(current)
+            symbol = self.functions.get(current)
+            if symbol is not None:
+                return symbol
+            module, rest = self._split_module(current)
+            if module is None or not rest:
+                return None
+            head, _, tail = rest.partition(".")
+            target = self.modules[module].aliases.get(head)
+            if target is None:
+                # module.Class.method with no alias indirection
+                return self.functions.get(current)
+            current = f"{target}.{tail}" if tail else target
+        return None
+
+    def resolve_call(self, mod: ModuleSymbols, class_name: str | None,
+                     call: ast.Call, *,
+                     unique_name_fallback: bool = True
+                     ) -> FunctionSymbol | None:
+        """Resolve a call expression to a project function, if possible.
+
+        Resolution order: same-module functions, import aliases (with
+        re-export chasing), ``self.``/``cls.`` methods of the enclosing
+        class, then — when ``unique_name_fallback`` — a method call
+        ``obj.name(...)`` whose attribute names exactly one project
+        function (class-hierarchy-analysis lite).
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self.resolve_name(mod, func.id)
+        if isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id in ("self", "cls")
+                    and class_name is not None):
+                symbol = self.functions.get(
+                    f"{mod.module}.{class_name}.{func.attr}")
+                if symbol is not None:
+                    return symbol
+            dotted = canonical_name(func, mod.aliases)
+            if dotted is not None:
+                symbol = self.resolve_qualname(dotted)
+                if symbol is not None:
+                    return symbol
+            if (unique_name_fallback
+                    and func.attr not in _COMMON_METHOD_NAMES):
+                candidates = self.by_simple_name.get(func.attr, [])
+                if len(candidates) == 1:
+                    return candidates[0]
+        return None
+
+    def resolve_name(self, mod: ModuleSymbols,
+                     name: str) -> FunctionSymbol | None:
+        """Resolve a bare name used inside ``mod`` to a project function."""
+        symbol = self.functions.get(f"{mod.module}.{name}")
+        if symbol is not None:
+            return symbol
+        target = mod.aliases.get(name)
+        if target is not None:
+            return self.resolve_qualname(target)
+        return None
+
+
+def build_symbol_table(contexts: Iterable["FileContext"]) -> SymbolTable:
+    """Build the project symbol table from parsed lint targets."""
+    modules: dict[str, ModuleSymbols] = {}
+    for ctx in contexts:
+        mod = ModuleSymbols(ctx)
+        modules[mod.module] = mod
+    return SymbolTable(modules)

@@ -1,0 +1,13 @@
+"""Fixture: REPRO013 true positives."""
+
+_SEEN = {}
+
+
+def run_fleet_campaign(config):
+    for node_id in config.node_ids:
+        _simulate(node_id)
+    return len(_SEEN)
+
+
+def _simulate(node_id):
+    _SEEN[node_id] = node_id + 1

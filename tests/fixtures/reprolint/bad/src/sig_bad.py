@@ -1,0 +1,17 @@
+"""Fixture: REPRO012 true positives."""
+
+
+def demod(samples, gain):
+    return samples
+
+
+def demod_reference(samples):
+    return samples
+
+
+def filt(samples):
+    return samples
+
+
+def filt_reference(samples):
+    return samples

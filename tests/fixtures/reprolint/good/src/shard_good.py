@@ -1,0 +1,16 @@
+"""Fixture: REPRO013 true negatives."""
+
+_PROFILES = {}
+for _name in ("lora", "fsk"):
+    _PROFILES[_name] = len(_name)
+
+
+def run_fleet_campaign(config, seen=None):
+    seen = {} if seen is None else seen
+    for node_id in config.node_ids:
+        _simulate(node_id, seen)
+    return seen
+
+
+def _simulate(node_id, seen):
+    seen[node_id] = _PROFILES["lora"] + node_id

@@ -1,0 +1,9 @@
+"""Fixture: REPRO012 true negatives."""
+
+
+def demod(samples, gain, plan=None):
+    return samples
+
+
+def demod_reference(samples, gain):
+    return samples

@@ -1,7 +1,12 @@
-"""Fixture test corpus: co-exercises the pair, satisfying REPRO002."""
+"""Fixture test corpus: co-exercises the pairs, satisfying REPRO002."""
 
 from pairs import modulate, modulate_reference
+from sig_good import demod, demod_reference
 
 
 def check_parity():
     assert modulate([1]) == modulate_reference([1])
+
+
+def check_demod_parity():
+    assert demod([1], 2) == demod_reference([1], 2)

@@ -1,0 +1,145 @@
+"""Incremental lint cache: correctness, invalidation, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cache import (
+    DEFAULT_CACHE_NAME,
+    LintCache,
+    config_cache_key,
+    file_digest,
+)
+from repro.analysis.cli import main
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import Finding, all_rules, run_analysis
+
+KEY = "test-key"
+
+
+def _write_project(root, body="x = 1\n"):
+    src = root / "src"
+    src.mkdir(exist_ok=True)
+    (src / "mod.py").write_text(body, encoding="utf-8")
+    return src
+
+
+def _finding(line=3):
+    return Finding("REPRO005", "src/mod.py", line, 4, "magic number 123456")
+
+
+# --- unit behaviour ---------------------------------------------------------
+
+def test_store_lookup_round_trip(tmp_path):
+    cache = LintCache(tmp_path / DEFAULT_CACHE_NAME, KEY)
+    digest = file_digest("x = 1\n")
+    assert cache.lookup("src/mod.py", digest) is None
+    cache.store("src/mod.py", digest, [_finding()])
+    cache.save()
+
+    warm = LintCache.load(tmp_path / DEFAULT_CACHE_NAME, KEY)
+    assert warm.lookup("src/mod.py", digest) == [_finding()]
+    assert warm.hits == 1
+    # A content change is a miss.
+    assert warm.lookup("src/mod.py", file_digest("x = 2\n")) is None
+    assert warm.misses == 1
+
+
+def test_mismatched_config_key_empties_cache(tmp_path):
+    path = tmp_path / DEFAULT_CACHE_NAME
+    cache = LintCache(path, KEY)
+    digest = file_digest("x = 1\n")
+    cache.store("src/mod.py", digest, [_finding()])
+    cache.save()
+    stale = LintCache.load(path, "other-key")
+    assert stale.lookup("src/mod.py", digest) is None
+
+
+def test_corrupt_cache_file_is_treated_as_empty(tmp_path):
+    path = tmp_path / DEFAULT_CACHE_NAME
+    path.write_text("{not json", encoding="utf-8")
+    cache = LintCache.load(path, KEY)
+    assert cache.lookup("src/mod.py", file_digest("")) is None
+
+
+def test_prune_drops_departed_files(tmp_path):
+    cache = LintCache(tmp_path / DEFAULT_CACHE_NAME, KEY)
+    cache.store("src/kept.py", file_digest("a"), [])
+    cache.store("src/gone.py", file_digest("b"), [])
+    cache.prune(["src/kept.py"])
+    cache.save()
+    warm = LintCache.load(tmp_path / DEFAULT_CACHE_NAME, KEY)
+    assert warm.lookup("src/kept.py", file_digest("a")) == []
+    assert warm.lookup("src/gone.py", file_digest("b")) is None
+
+
+def test_config_cache_key_tracks_config_and_rules():
+    base = config_cache_key(LintConfig(), ["REPRO001"])
+    assert base == config_cache_key(LintConfig(), ["REPRO001"])
+    assert base != config_cache_key(LintConfig(), ["REPRO001", "REPRO002"])
+    assert base != config_cache_key(
+        LintConfig(units_threshold=5.0), ["REPRO001"])
+
+
+# --- engine integration -----------------------------------------------------
+
+def test_warm_run_serves_file_rules_from_cache(tmp_path):
+    src = _write_project(tmp_path, "f = 868_100_000\n")
+    config = LintConfig()
+    cache = LintCache(tmp_path / DEFAULT_CACHE_NAME,
+                      config_cache_key(config, all_rules()))
+    cold = run_analysis(tmp_path, [src], config, cache=cache)
+    assert cache.misses == 1 and cache.hits == 0
+    warm = run_analysis(tmp_path, [src], config, cache=cache)
+    assert cache.hits == 1
+    assert [f.fingerprint() for f in warm] == [f.fingerprint() for f in cold]
+
+
+def test_cached_findings_survive_unrelated_line_drift(tmp_path):
+    src = _write_project(tmp_path, "f = 868_100_000\n")
+    config = LintConfig()
+    cache = LintCache(tmp_path / DEFAULT_CACHE_NAME,
+                      config_cache_key(config, all_rules()))
+    run_analysis(tmp_path, [src], config, cache=cache)
+    # Change the file: the digest changes, so the entry is recomputed.
+    _write_project(tmp_path, "# pad\nf = 868_100_000\n")
+    fresh = run_analysis(tmp_path, [src], config, cache=cache)
+    assert cache.misses == 2
+    assert [f.line for f in fresh] == [2]
+
+
+# --- CLI wiring -------------------------------------------------------------
+
+def _cli_lint(root, *extra):
+    return main([str(root / "src"), "--root", str(root), "--no-baseline",
+                 *extra])
+
+
+def test_cli_writes_and_reuses_cache(tmp_path, capsys):
+    _write_project(tmp_path)
+    assert _cli_lint(tmp_path) == 0
+    assert (tmp_path / DEFAULT_CACHE_NAME).is_file()
+    err = capsys.readouterr().err
+    assert "1 miss(es)" in err
+    assert _cli_lint(tmp_path) == 0
+    err = capsys.readouterr().err
+    assert "1 hit(s)" in err
+
+
+def test_cli_no_cache_bypasses_cache_file(tmp_path, capsys):
+    _write_project(tmp_path)
+    assert _cli_lint(tmp_path, "--no-cache") == 0
+    assert not (tmp_path / DEFAULT_CACHE_NAME).is_file()
+    assert "cache" not in capsys.readouterr().err
+
+
+def test_cli_cache_invalidated_by_select(tmp_path, capsys):
+    _write_project(tmp_path, "f = 868_100_000\n")
+    assert _cli_lint(tmp_path) == 1
+    # A different --select changes the cache key: the warm entry does
+    # not leak findings from the previous rule set.
+    assert _cli_lint(tmp_path, "--select", "REPRO001") == 0
+    capsys.readouterr()
+    payload = json.loads(
+        (tmp_path / DEFAULT_CACHE_NAME).read_text(encoding="utf-8"))
+    assert payload["files"]["src/mod.py"]["findings"] == []

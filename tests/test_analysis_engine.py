@@ -30,12 +30,13 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures" / "reprolint"
 
 RULE_IDS = ("REPRO001", "REPRO002", "REPRO003", "REPRO004",
             "REPRO005", "REPRO006", "REPRO007", "REPRO008",
-            "REPRO009", "REPRO010")
+            "REPRO009", "REPRO010", "REPRO011", "REPRO012",
+            "REPRO013")
 
 
 # --- registry ---------------------------------------------------------------
 
-def test_registry_holds_the_ten_domain_rules():
+def test_registry_holds_the_thirteen_domain_rules():
     rules = all_rules()
     assert tuple(sorted(rules)) == RULE_IDS
     for rule_id, cls in rules.items():
@@ -216,13 +217,66 @@ def test_render_json_round_trips():
         {"rule": "REPRO007", "path": "src/b.py", "message": "bare 'except:'"}]
 
 
+def test_render_sarif_round_trips():
+    document = json.loads(reporting.render_sarif(_result(), all_rules()))
+    assert document["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in document["$schema"]
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert declared == set(RULE_IDS)
+    # Only gate-failing (new) findings become results.
+    assert len(run["results"]) == 2
+    result = run["results"][0]
+    assert result["ruleId"] == "REPRO005"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/a.py"
+    assert location["region"]["startLine"] == 10
+    assert location["region"]["startColumn"] == 5  # col 4, 1-based
+    fingerprints = {r["partialFingerprints"]["reprolint/v1"]
+                    for r in run["results"]}
+    # Same (rule, path, message) -> same line-insensitive fingerprint.
+    assert len(fingerprints) == 1
+
+
+def test_sarif_fingerprint_is_line_insensitive():
+    low = Finding("REPRO005", "src/a.py", 10, 4, "magic number")
+    drifted = Finding("REPRO005", "src/a.py", 99, 0, "magic number")
+    other = Finding("REPRO005", "src/a.py", 10, 4, "other message")
+    assert (reporting._sarif_fingerprint(low)
+            == reporting._sarif_fingerprint(drifted))
+    assert (reporting._sarif_fingerprint(low)
+            != reporting._sarif_fingerprint(other))
+
+
+# --- baseline hygiene -------------------------------------------------------
+
+def test_prune_missing_drops_deleted_files(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "kept.py").write_text("x = 1\n", encoding="utf-8")
+    baseline = Counter({
+        ("REPRO005", "src/kept.py", "magic number"): 2,
+        ("REPRO007", "src/deleted.py", "bare 'except:'"): 1,
+        ("REPRO001", "src/also_gone.py", "global rng"): 3,
+    })
+    kept, removed = baseline_mod.prune_missing(baseline, tmp_path)
+    assert kept == Counter({("REPRO005", "src/kept.py", "magic number"): 2})
+    assert removed == [
+        ("REPRO001", "src/also_gone.py", "global rng"),
+        ("REPRO007", "src/deleted.py", "bare 'except:'"),
+    ]
+
+
 # --- CLI --------------------------------------------------------------------
 
 BAD_ROOT = FIXTURES / "bad"
 
 
 def _cli(*extra, root=BAD_ROOT, baseline=None):
-    argv = [str(root / "src"), "--root", str(root)]
+    # --no-cache keeps CLI tests from writing cache files into the
+    # committed fixture tree; the cache has its own tmp-rooted tests.
+    argv = [str(root / "src"), "--root", str(root), "--no-cache"]
     if baseline is not None:
         argv += ["--baseline", str(baseline)]
     return main(argv + list(extra))
@@ -268,6 +322,55 @@ def test_cli_errors_exit_2(tmp_path, capsys):
     broken.write_text("{not json", encoding="utf-8")
     assert _cli(baseline=broken) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_cli_sarif_format(tmp_path, capsys):
+    assert _cli("--format", "sarif", baseline=tmp_path / "b.json") == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    assert document["runs"][0]["results"]
+
+
+def test_cli_exits_2_on_unparseable_file(tmp_path, capsys):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "broken.py").write_text("def f(:\n", encoding="utf-8")
+    assert _cli(root=tmp_path) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_prunes_baseline_entries_for_deleted_files(tmp_path, capsys):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    baseline = tmp_path / "b.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "findings": [{"rule": "REPRO005", "path": "src/gone.py",
+                      "message": "magic number", "count": 1}],
+    }), encoding="utf-8")
+    assert _cli(root=tmp_path, baseline=baseline) == 0
+    captured = capsys.readouterr()
+    # The deleted-file entry is pruned (and reported), not left to rot
+    # as a permanently-stale grandfather.
+    assert "pruned 1 baseline" in captured.err
+    assert "stale" not in captured.out
+
+
+def test_inline_disable_with_multiple_rule_ids(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text(
+        "import numpy as np\n"
+        "def f():\n"
+        "    v = np.random.normal()"
+        "  # reprolint: disable=REPRO001,REPRO005\n"
+        "    return v * 868_100_000\n",
+        encoding="utf-8")
+    findings = run_analysis(tmp_path, [src], LintConfig())
+    # REPRO001 on line 3 is silenced by the two-id comment; the
+    # REPRO005 magic number sits on line 4 and still fires.
+    assert [(f.rule_id, f.line) for f in findings] == [("REPRO005", 4)]
 
 
 def test_cli_module_entry_point():

@@ -1,4 +1,4 @@
-"""Golden-fixture tests for the ten reprolint rules.
+"""Golden-fixture tests for the thirteen reprolint rules.
 
 The fixtures under ``tests/fixtures/reprolint/`` form two miniature
 projects: ``bad`` contains one file per rule engineered to trip it at
@@ -57,6 +57,19 @@ EXPECTED_BAD = {
     ("REPRO010", "src/fleet_bad.py", 9),
     ("REPRO010", "src/fleet_bad.py", 10),
     ("REPRO010", "src/fleet_bad.py", 17),
+    ("REPRO002", "src/sig_bad.py", 8),
+    ("REPRO002", "src/sig_bad.py", 16),
+    ("REPRO011", "src/taint_bad.py", 11),
+    ("REPRO011", "src/taint_bad.py", 19),
+    ("REPRO011", "src/taint_bad.py", 25),
+    ("REPRO011", "src/taint_bad.py", 30),
+    ("REPRO011", "src/taint_bad.py", 34),
+    ("REPRO011", "src/taint_bad.py", 38),
+    ("REPRO012", "src/pairs.py", 8),
+    ("REPRO012", "src/sig_bad.py", 8),
+    ("REPRO012", "src/sig_bad.py", 16),
+    ("REPRO013", "src/shard_bad.py", 9),
+    ("REPRO013", "src/shard_bad.py", 13),
 }
 
 ALL_RULE_IDS = sorted({rule for rule, _, _ in EXPECTED_BAD})

@@ -1,0 +1,215 @@
+"""Unit tests for the whole-program semantic model.
+
+Exercises the layer under rules REPRO011-013 directly: symbol
+resolution through re-exports, call-graph reachability, taint
+summaries crossing function boundaries, the latent set-order taint,
+parity signature comparison, and shard-state access classification.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.engine import FileContext, Project
+from repro.analysis.semantic import (
+    build_call_graph,
+    build_model,
+    build_symbol_table,
+    module_name_for,
+    parity_pairs,
+    shard_state_findings,
+    signature_drift,
+)
+
+
+def _project(files: dict[str, str]) -> Project:
+    contexts = [FileContext(Path("/mem") / rel, rel, source)
+                for rel, source in files.items()]
+    return Project(root=Path("/mem"), contexts=contexts)
+
+
+def _model(files: dict[str, str]):
+    return build_model(_project(files))
+
+
+# --- symbols and call graph -------------------------------------------------
+
+def test_module_name_strips_src_prefix_and_init():
+    assert module_name_for("src/repro/ota/mac.py") == "repro.ota.mac"
+    assert module_name_for("src/repro/ota/fleet/__init__.py") == (
+        "repro.ota.fleet")
+    assert module_name_for("examples/demo.py") == "examples.demo"
+
+
+def test_resolution_follows_package_reexports():
+    model = _model({
+        "src/pkg/__init__.py": "from pkg.engine import run\n",
+        "src/pkg/engine.py": "def run(config):\n    return config\n",
+        "src/app.py": ("from pkg import run\n"
+                       "def go(config):\n"
+                       "    return run(config)\n"),
+    })
+    assert "pkg.engine.run" in model.table.functions
+    assert model.graph.callees("app.go") == frozenset({"pkg.engine.run"})
+
+
+def test_reachability_walks_transitive_calls():
+    table = build_symbol_table(_project({
+        "src/m.py": ("def a():\n    return b()\n"
+                     "def b():\n    return c()\n"
+                     "def c():\n    return 1\n"
+                     "def island():\n    return 2\n"),
+    }).contexts)
+    graph = build_call_graph(table)
+    reachable = graph.reachable(["m.a"])
+    assert {"m.a", "m.b", "m.c"} <= reachable
+    assert "m.island" not in reachable
+
+
+def test_common_method_names_never_resolve_by_uniqueness():
+    # `payload.update(...)` on some dict must not resolve to the one
+    # project method that happens to be called `update`.
+    model = _model({
+        "src/ota.py": ("class Updater:\n"
+                       "    def update(self, image):\n"
+                       "        return image\n"),
+        "src/other.py": ("def merge(payload, extra):\n"
+                         "    payload.update(extra)\n"),
+    })
+    assert model.graph.callees("other.merge") == frozenset()
+
+
+# --- taint flow (REPRO011 substrate) ----------------------------------------
+
+def test_taint_crosses_function_boundaries_via_summaries():
+    model = _model({
+        "src/a.py": ("import time\n"
+                     "def stamp():\n"
+                     "    return time.time()\n"),
+        "src/b.py": ("from a import stamp\n"
+                     "def log(timeline):\n"
+                     "    timeline.record('t', duration_s=stamp())\n"),
+    })
+    hits = [h for h in model.sink_findings if h.relpath == "src/b.py"]
+    assert len(hits) == 1
+    assert hits[0].sink == "timeline record"
+    assert "time.time()" in hits[0].reasons[0]
+
+
+def test_set_membership_is_clean_but_iteration_is_tainted():
+    model = _model({
+        "src/m.py": (
+            "def member(timeline, kind):\n"
+            "    allowed = {'a', 'b'}\n"
+            "    timeline.record('x', ok=kind in allowed)\n"
+            "def iterate(timeline):\n"
+            "    names = {'a', 'b'}\n"
+            "    timeline.record('y', label=next(iter(names)))\n"),
+    })
+    functions = {hit.function for hit in model.sink_findings}
+    assert functions == {"iterate"}
+
+
+def test_sorted_launders_set_order_taint():
+    model = _model({
+        "src/m.py": ("def pick(timeline, names):\n"
+                     "    bag = {n for n in names}\n"
+                     "    timeline.record('x', label=sorted(bag)[0])\n"),
+    })
+    assert model.sink_findings == ()
+
+
+def test_unseeded_global_rng_reaches_simevent_payload():
+    model = _model({
+        "src/m.py": ("import random\n"
+                     "def emit():\n"
+                     "    return SimEvent(payload=random.random())\n"),
+    })
+    assert len(model.sink_findings) == 1
+    assert model.sink_findings[0].sink == "SimEvent payload"
+
+
+# --- parity signatures (REPRO012 substrate) ---------------------------------
+
+def _drift(fast_sig: str, ref_sig: str) -> str | None:
+    table = build_symbol_table(_project({
+        "src/p.py": (f"def f({fast_sig}):\n    return 0\n"
+                     f"def f_reference({ref_sig}):\n    return 0\n"),
+    }).contexts)
+    pairs = parity_pairs(table)
+    assert len(pairs) == 1
+    return signature_drift(pairs[0])
+
+
+def test_matching_signatures_do_not_drift():
+    assert _drift("x, y", "x, y") is None
+
+
+def test_fast_twin_may_add_trailing_defaulted_params():
+    assert _drift("x, y, plan=None, out=None", "x, y") is None
+
+
+def test_fast_twin_extra_required_param_drifts():
+    drift = _drift("x, y, gain", "x, y")
+    assert drift is not None and "without defaults" in drift
+
+
+def test_renamed_positional_param_drifts():
+    assert _drift("samples, rate", "samples, fs") is not None
+
+
+def test_missing_keyword_only_param_drifts():
+    drift = _drift("x", "x, *, strict")
+    assert drift is not None and "strict" in drift
+
+
+def test_vararg_mismatch_drifts():
+    assert _drift("x, *rest", "x") is not None
+
+
+def test_private_and_orphan_references_are_not_paired():
+    table = build_symbol_table(_project({
+        "src/p.py": ("def _helper():\n    return 0\n"
+                     "def _helper_reference():\n    return 0\n"
+                     "def orphan_reference():\n    return 0\n"),
+    }).contexts)
+    assert parity_pairs(table) == []
+
+
+# --- shard safety (REPRO013 substrate) --------------------------------------
+
+_FLEET = ("_STATE = {}\n"
+          "def run_fleet_campaign(config):\n"
+          "    _mark(config)\n"
+          "    return len(_STATE)\n"
+          "def _mark(config):\n"
+          "    _STATE[config] = 1\n")
+
+
+def test_fleet_reachable_mutated_state_is_flagged():
+    model = _model({"src/engine.py": _FLEET})
+    hazards = shard_state_findings(model, ("run_fleet_campaign*",))
+    touched = {(h.access.function.display, h.access.is_write)
+               for h in hazards}
+    assert touched == {("run_fleet_campaign", False), ("_mark", True)}
+    assert all(h.writers == ("_mark",) for h in hazards)
+
+
+def test_unreachable_mutated_state_is_not_flagged():
+    model = _model({
+        "src/engine.py": ("_STATE = {}\n"
+                          "def helper(config):\n"
+                          "    _STATE[config] = 1\n"),
+    })
+    assert shard_state_findings(model, ("run_fleet_campaign*",)) == []
+
+
+def test_import_time_population_is_legal():
+    model = _model({
+        "src/engine.py": ("_TABLE = {}\n"
+                          "for _k in ('a', 'b'):\n"
+                          "    _TABLE[_k] = len(_k)\n"
+                          "def run_fleet_campaign(config):\n"
+                          "    return _TABLE['a']\n"),
+    })
+    assert shard_state_findings(model, ("run_fleet_campaign*",)) == []
