@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint semantic chaos check bench-hotpath bench-fleet bench-check bench-paper
+.PHONY: test lint semantic chaos check service-smoke bench-hotpath bench-fleet bench-check bench-paper
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -24,9 +24,16 @@ lint:
 semantic:
 	$(PYTHON) -m repro.analysis src --select REPRO011,REPRO012,REPRO013 --no-cache
 
-# Full gate: static analysis (all rules plus a cold semantic pass) and
-# the perf-regression check, as CI would run them.
-check: lint semantic bench-check
+# Campaign-service smoke: run the end-to-end service example with the
+# determinism double-run enabled (REPRO_DETERMINISM=1), re-proving the
+# scheduler/cache/tenancy stack is bit-replayable across interpreters.
+service-smoke:
+	REPRO_DETERMINISM=1 $(PYTHON) examples/campaign_service.py
+
+# Full gate: static analysis (all rules plus a cold semantic pass), the
+# service determinism smoke and the perf-regression check, as CI would
+# run them.
+check: lint semantic service-smoke bench-check
 
 # Regenerate BENCH_hotpath.json at the repo root.
 bench-hotpath:

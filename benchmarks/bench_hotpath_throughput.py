@@ -73,6 +73,7 @@ from repro.phy.lora.chirp import chirp_train, ideal_chirp_reference
 from repro.phy.lora.demodulator import SymbolDemodulator
 from repro.dsp.fft import Radix2Fft
 from repro.radio import iqword, lvds
+from repro.service import CampaignService, JobSpec
 from repro.testbed import campus_deployment
 
 BENCH_PATH = REPO_ROOT / "BENCH_hotpath.json"
@@ -99,6 +100,10 @@ FLEET_SEED = 2020
 FLEET_REPEATS = 2
 FLEET_SPILL_BUFFER_ROWS = 4_096
 FLEET_SPILL_RSS_BUDGET_KB = 262_144  # units: KiB (256 MiB)
+
+SERVICE_UNIQUE_JOBS = 24
+SERVICE_SEED = 2020
+SERVICE_REPEATS = 3
 
 
 def _rss_snapshot() -> dict[str, int]:
@@ -399,6 +404,70 @@ def _bench_campaign_100k(report: ThroughputReport) -> None:
     })
 
 
+def _service_job_mix() -> list[JobSpec]:
+    """A 50% duplicate job mix: every unique seeded spec appears twice.
+
+    Interleaved (unique, duplicate, unique, duplicate, ...) so the
+    cache is exercised throughout the run, not only in a trailing
+    burst.  Within one service instance every second submission is a
+    content-address hit.
+    """
+    specs: list[JobSpec] = []
+    for seed in range(SERVICE_UNIQUE_JOBS):
+        spec = JobSpec(kind="sweep-ble",
+                       config={"packets": 2, "stop_dbm": -84.0},
+                       seed=seed)
+        specs.extend((spec, spec))
+    return specs
+
+
+def _bench_campaign_service(report: ThroughputReport) -> None:
+    """Campaign-service scheduling throughput, in jobs/second.
+
+    Drives one service instance through a 50% duplicate-job mix: every
+    job clears admission (quota + token bucket), the priority queue,
+    dispatch, content addressing and the ``service.*`` ledger; half are
+    then served from the result cache with zero engine recompute.  Items
+    are completed jobs, so the number folds admission overhead, cache
+    lookups and engine time into one figure.  The cache hit ratio and
+    per-kind invocation counts are annotated and gated by
+    ``check_regression.py`` (the hit ratio on this mix must stay at the
+    designed 0.5, floor 0.45).
+    """
+    mix = _service_job_mix()
+
+    def run_service() -> CampaignService:
+        service = CampaignService(seed=SERVICE_SEED)
+        for spec in mix:
+            service.submit(spec)
+        service.run_until_idle()
+        return service
+
+    service = run_service()
+    stats = service.stats()
+    if stats.completed != len(mix):
+        raise AssertionError(
+            f"benchmark service completed {stats.completed} of "
+            f"{len(mix)} jobs")
+    if stats.cache_hits != SERVICE_UNIQUE_JOBS:
+        raise AssertionError(
+            f"duplicate mix must produce {SERVICE_UNIQUE_JOBS} cache "
+            f"hits, got {stats.cache_hits}")
+
+    report.add("campaign_service", "fast", measure_throughput(
+        "campaign_service.fast", run_service, len(mix), unit="jobs",
+        repeats=SERVICE_REPEATS))
+    report.annotate("campaign_service", service={
+        "jobs_submitted": stats.submitted,
+        "jobs_admitted": stats.admitted,
+        "jobs_completed": stats.completed,
+        "cache_hits": stats.cache_hits,
+        "cache_hit_ratio": stats.cache_hit_ratio,
+        "invocations": stats.invocations,
+        "virtual_now_s": stats.virtual_now_s,
+    })
+
+
 # Every harness entry, in sweep order.  Entry names are what ``--only``
 # matches and what keys the per-entry metadata; an entry may add one or
 # more result groups (the codec entry adds pack and unpack).
@@ -414,6 +483,8 @@ _ENTRIES = (
      lambda report, rng: _bench_campaign_faulty(report)),
     ("ota_campaign_100k",
      lambda report, rng: _bench_campaign_100k(report)),
+    ("campaign_service",
+     lambda report, rng: _bench_campaign_service(report)),
     ("lora_end_to_end", _bench_lora_end_to_end),
 )
 

@@ -8,10 +8,14 @@ lands.  Speedups are reported but never fail the gate; refresh the
 committed baseline by re-running the harness
 (``python benchmarks/bench_hotpath_throughput.py``).
 
-On top of the relative gate, one absolute floor from ISSUE-6 is
-enforced within the fresh sweep itself: the vectorized fleet engine
-(``ota_campaign_100k``) must sustain at least 100x the legacy
-timeline-backed campaign (``ota_campaign``) in events/second.
+On top of the relative gate, two absolute floors are enforced within
+the fresh sweep itself: the vectorized fleet engine
+(``ota_campaign_100k``, ISSUE-6) must sustain at least 100x the legacy
+timeline-backed campaign (``ota_campaign``) in events/second, and the
+campaign service (``campaign_service``, ISSUE-8) must keep its result
+cache's hit ratio on the 50% duplicate-job mix at the designed 0.5
+(floor 0.45) — a drop means content addressing or the dedupe path
+broke.
 
 Usage::
 
@@ -36,6 +40,9 @@ from bench_hotpath_throughput import BENCH_PATH, collect_report
 FLEET_GROUP = "ota_campaign_100k"
 FLEET_BASE_GROUP = "ota_campaign"
 FLEET_MIN_SPEEDUP = 100.0
+
+SERVICE_GROUP = "campaign_service"
+SERVICE_MIN_HIT_RATIO = 0.45
 
 
 def load_baseline(path: pathlib.Path) -> dict:
@@ -112,6 +119,30 @@ def check_fleet_floor(fresh: dict,
     return ([], [line])
 
 
+def check_service_floor(fresh: dict,
+                        min_hit_ratio: float = SERVICE_MIN_HIT_RATIO
+                        ) -> tuple[list[str], list[str]]:
+    """ISSUE-8 acceptance floor; returns (failures, notes).
+
+    The bench entry feeds the service a 50% duplicate-job mix, so a
+    healthy content-addressed cache answers half of all completions.
+    The ratio comes from the fresh sweep's own annotation — it is a
+    correctness property of the dedupe path, not a hardware number.
+    """
+    entry = (fresh.get("metadata", {}).get("entries", {})
+             .get(SERVICE_GROUP, {}).get("service"))
+    if entry is None:
+        return ([f"service floor: {SERVICE_GROUP} annotation missing "
+                 f"from fresh run"], [])
+    ratio = entry["cache_hit_ratio"]
+    line = (f"service floor: {SERVICE_GROUP} cache hit ratio "
+            f"{ratio:.2f} on the 50%-duplicate mix "
+            f"(need >= {min_hit_ratio:.2f})")
+    if ratio < min_hit_ratio:
+        return ([line], [])
+    return ([], [line])
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the gate; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -133,9 +164,10 @@ def main(argv: list[str] | None = None) -> int:
     fresh = best_of([collect_report().to_dict()
                      for _ in range(max(1, args.runs))])
     regressions, notes = compare(baseline, fresh, args.threshold)
-    floor_failures, floor_notes = check_fleet_floor(fresh)
-    regressions += floor_failures
-    notes += floor_notes
+    for check in (check_fleet_floor, check_service_floor):
+        floor_failures, floor_notes = check(fresh)
+        regressions += floor_failures
+        notes += floor_notes
     for line in notes:
         print(f"ok   {line}")
     for line in regressions:

@@ -56,6 +56,12 @@ DEFAULT_FLEET_BUFFER_EXEMPT = (
     "*/repro/ota/fleet/buffers.py",
 )
 
+#: The one sanctioned engine-calling module the service-discipline rule
+#: (REPRO014) polices everyone else into using: the workload adapters.
+DEFAULT_SERVICE_EXEMPT = (
+    "*/repro/service/workloads.py",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -101,6 +107,7 @@ def default_config() -> LintConfig:
             "REPRO005": DEFAULT_UNITS_EXEMPT,
             "REPRO008": DEFAULT_ACCOUNTING_EXEMPT,
             "REPRO010": DEFAULT_FLEET_BUFFER_EXEMPT,
+            "REPRO014": DEFAULT_SERVICE_EXEMPT,
         })
 
 

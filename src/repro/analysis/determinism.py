@@ -164,3 +164,139 @@ def check_from_env(config: "FleetCampaignConfig",
     if not determinism_enabled(environ):
         return None
     return double_run_check(config)
+
+
+# -- campaign-service double run ------------------------------------------
+
+ENV_SERVICE_SEED = "REPRO_DET_SERVICE_SEED"
+
+#: PYTHONHASHSEED values for the two service runs.  The service has no
+#: shard axis; hash-seed variation alone flushes out iteration-order
+#: dependence in admission, scheduling, caching and event journaling.
+SERVICE_RUNS: tuple[str, ...] = ("101", "202")
+
+
+def service_session_fingerprint(seed: int) -> str:
+    """Run a scripted multi-tenant service session and digest it all.
+
+    The session exercises every decision path the scheduler has:
+    priorities out of submission order, a second tenant with tight
+    limits, a duplicate seeded spec (a cache hit), and enough
+    submissions to trip the tight tenant's quota.  The digest covers
+    each job's lifecycle and result fingerprint, every ledger row
+    (kind, label, bit-exact timestamps) and the final stats, so *any*
+    divergence anywhere in the service changes it.
+    """
+    from repro.service import (
+        PRIORITY_BATCH,
+        PRIORITY_HIGH,
+        CampaignService,
+        JobSpec,
+        TenantConfig,
+    )
+
+    service = CampaignService(
+        seed=seed,
+        tenants=(TenantConfig(name="lab", max_pending=2,
+                              bucket_capacity=2.0, refill_per_s=1.0),))
+    specs = (
+        JobSpec(kind="sweep-ble",
+                config={"packets": 2, "stop_dbm": -86.0}, seed=seed),
+        JobSpec(kind="sweep-lora",
+                config={"symbols": 10, "stop_dbm": -116.0,
+                        "step_db": 6.0},
+                seed=seed, priority=PRIORITY_HIGH),
+        JobSpec(kind="campaign", config={"nodes": 3}, seed=seed,
+                tenant="lab"),
+        JobSpec(kind="sweep-ble",
+                config={"packets": 2, "stop_dbm": -86.0}, seed=seed),
+        JobSpec(kind="adr", seed=seed, tenant="lab",
+                priority=PRIORITY_BATCH),
+        JobSpec(kind="info", seed=seed, priority=PRIORITY_BATCH),
+        JobSpec(kind="power", seed=seed, tenant="lab"),
+    )
+    for spec in specs:
+        service.submit(spec)
+    service.run_until_idle()
+
+    digest = hashlib.sha256()
+    for job in service.jobs():
+        digest.update(
+            f"{job.job_id}|{job.state}|{int(job.cache_hit)}|"
+            f"{job.detail}".encode())
+        if job.result is not None:
+            digest.update(job.result.fingerprint().encode())
+    for event in service.timeline:
+        digest.update(
+            f"{event.kind}|{event.label}|{event.t_start_s.hex()}|"
+            f"{event.duration_s.hex()}".encode())
+    stats = service.stats()
+    digest.update(json.dumps(
+        {"submitted": stats.submitted, "admitted": stats.admitted,
+         "rejected": stats.rejected, "completed": stats.completed,
+         "cache_hits": stats.cache_hits,
+         "virtual_now_s": stats.virtual_now_s.hex(),
+         "invocations": stats.invocations, "tenants": stats.tenants},
+        sort_keys=True).encode())
+    return digest.hexdigest()
+
+
+def _service_fingerprint_main() -> None:
+    """Subprocess entry: run the scripted session, print the digest."""
+    # The env *is* the configuration channel here: the parent serialized
+    # the session seed through it precisely so this run is replayable.
+    seed = int(os.environ[ENV_SERVICE_SEED])
+    print(service_session_fingerprint(seed))  # reprolint: disable=REPRO011
+
+
+def service_double_run_check(
+        seed: int = 0,
+        hashseeds: Sequence[str] = SERVICE_RUNS) -> str:
+    """Run the service session once per hash seed and diff the digests.
+
+    Returns the common fingerprint.
+
+    Raises:
+        SanitizerError: when any run's fingerprint diverges, or a run
+            fails outright.
+    """
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    fingerprints: list[tuple[str, str]] = []
+    for hashseed in hashseeds:
+        env = dict(os.environ)
+        env[ENV_SERVICE_SEED] = str(seed)
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.analysis.determinism import "
+             "_service_fingerprint_main; _service_fingerprint_main()"],
+            env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise SanitizerError(
+                f"service determinism run (hashseed={hashseed}) failed: "
+                f"{proc.stderr.strip()[-500:]}")
+        fingerprints.append((hashseed, proc.stdout.strip()))
+    distinct = {fp for _, fp in fingerprints}
+    if len(distinct) != 1:
+        detail = ", ".join(f"hashseed={h} -> {fp[:16]}"
+                           for h, fp in fingerprints)
+        raise SanitizerError(
+            f"campaign service is not run-deterministic: {detail}; some "
+            f"admission, scheduling or caching decision depends on "
+            f"hash-seed iteration order")
+    return fingerprints[0][1]
+
+
+def service_check_from_env(
+        seed: int = 0,
+        environ: Mapping[str, str] | None = None) -> str | None:
+    """Run :func:`service_double_run_check` when ``REPRO_DETERMINISM=1``.
+
+    Returns the fingerprint when the check ran, ``None`` otherwise.
+    """
+    if not determinism_enabled(environ):
+        return None
+    return service_double_run_check(seed)

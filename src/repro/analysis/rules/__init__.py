@@ -24,6 +24,8 @@ REPRO012  parity-signature-drift  twins keep matching signatures; dead
                                 (test-unreachable) twins flagged
 REPRO013  shard-safety          fleet-reachable code never touches
                                 function-mutated module-level state
+REPRO014  service-discipline    service/CLI code reaches engines only
+                                through the workload registry
 ========  ====================  ==========================================
 
 REPRO011-013 are *semantic* rules: they share one whole-program model
@@ -42,6 +44,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     parity,
     provenance,
     rng,
+    service,
     shardsafety,
     signature,
     taintflow,

@@ -1,0 +1,127 @@
+"""REPRO014 — service code reaches engines through the registry.
+
+The campaign service's whole value is that every computation flows
+through one door: :meth:`repro.service.registry.WorkloadRegistry.invoke`
+counts invocations (the zero-recompute cache proof), journals progress
+on the virtual timeline, and keeps the content address honest — a job's
+result must be a pure function of its ``(kind, config, seed)`` triple.
+A direct engine call from the service or the CLI bypasses all three:
+the invocation counter lies, the timeline misses the work, and the
+cache can serve a result that no longer matches what the code computes.
+
+Flagged, inside ``repro/service/`` and ``repro/cli.py`` (the adapter
+module ``repro/service/workloads.py`` is the single sanctioned caller,
+exempted via config):
+
+* imports from the engine namespaces (``repro.core``, ``repro.fpga``,
+  ``repro.ota``, ``repro.phy``, ``repro.platforms``, ``repro.power``,
+  ``repro.protocols``, ``repro.testbed``);
+* calls to the engine entry points by name (``run_campaign``,
+  ``run_fleet_campaign_sharded``, ``lora_symbol_error_rate``, ...),
+  which catches attribute-qualified calls that dodge the import check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+#: Package prefixes only workload adapters may import from.
+ENGINE_NAMESPACES = (
+    "repro.core",
+    "repro.fpga",
+    "repro.ota",
+    "repro.phy",
+    "repro.platforms",
+    "repro.power",
+    "repro.protocols",
+    "repro.testbed",
+)
+
+#: Engine entry points a thin client must never call directly.
+ENGINE_ENTRY_POINTS = frozenset({
+    "run_campaign",
+    "run_hardened_campaign",
+    "run_fleet_campaign",
+    "run_fleet_campaign_sharded",
+    "write_fleet_spill",
+    "lora_symbol_error_rate",
+    "ble_beacon_error_rate",
+    "simulate_adr",
+    "fixed_rate_cost",
+    "campus_deployment",
+    "generate_bitstream",
+    "platform_timings",
+    "total_cost_usd",
+    "lora_tx_design",
+    "lora_rx_design",
+})
+
+_HINT = ("route the computation through WorkloadRegistry.invoke (adapters "
+         "live in repro/service/workloads.py) so invocation counters, "
+         "virtual-time accounting and the result cache stay truthful")
+
+
+def _engine_namespace(module: str) -> str | None:
+    """The engine namespace ``module`` belongs to, if any."""
+    for namespace in ENGINE_NAMESPACES:
+        if module == namespace or module.startswith(namespace + "."):
+            return namespace
+    return None
+
+
+def _called_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register
+class ServiceDisciplineRule(FileRule):
+    """Service/CLI code calls engines only via the workload registry."""
+
+    rule_id = "REPRO014"
+    name = "service-discipline"
+    description = ("service and CLI code must reach engines through the "
+                   "WorkloadRegistry, never by importing or calling "
+                   "engine modules directly")
+    default_scope = ("*/repro/service/*.py", "*/repro/cli.py")
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    namespace = _engine_namespace(alias.name)
+                    if namespace is not None:
+                        yield Finding(
+                            rule_id=self.rule_id, path=ctx.relpath,
+                            line=node.lineno, col=node.col_offset,
+                            message=(f"engine import '{alias.name}' "
+                                     f"bypasses the workload registry"),
+                            hint=_HINT)
+            elif isinstance(node, ast.ImportFrom):
+                namespace = _engine_namespace(node.module or "")
+                if namespace is not None:
+                    yield Finding(
+                        rule_id=self.rule_id, path=ctx.relpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=(f"engine import 'from {node.module} "
+                                 f"import ...' bypasses the workload "
+                                 f"registry"),
+                        hint=_HINT)
+            elif isinstance(node, ast.Call):
+                name = _called_name(node)
+                if name in ENGINE_ENTRY_POINTS:
+                    yield Finding(
+                        rule_id=self.rule_id, path=ctx.relpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=(f"direct engine call '{name}(...)' "
+                                 f"bypasses the workload registry"),
+                        hint=_HINT)

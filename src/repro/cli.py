@@ -11,6 +11,14 @@ Gives shell access to the experiments a testbed operator runs most:
 * ``repro adr`` - rate-adaptation study across the deployment.
 
 Install the package and run ``python -m repro.cli <command>``.
+
+Every subcommand is a *thin client* of the campaign service: it builds
+a typed :class:`~repro.service.JobSpec`, submits it to a
+:class:`~repro.service.CampaignService`, and renders the resulting
+payload.  No engine is imported here — that is the REPRO014
+service-discipline boundary — so anything the CLI can do, a queued
+multi-tenant job can do identically (and dedupes through the
+content-addressed result cache when seeded the same way).
 """
 
 from __future__ import annotations
@@ -18,140 +26,144 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
+from repro.service import JOB_COMPLETED, CampaignService, Job, JobSpec
+
+
+def _run_job(kind: str, config: dict, seed: int = 0) -> Job:
+    """Submit one spec to a fresh service and drain the queue.
+
+    The CLI is a single-shot client: one process, one service, one job.
+    A failed or rejected job surfaces its reason on stderr and the
+    caller maps it to exit code 1.
+    """
+    service = CampaignService()
+    return service.submit_and_run(
+        JobSpec(kind=kind, config=config, seed=seed))
+
+
+def _payload(job: Job) -> dict | None:
+    """The completed job's payload, or ``None`` after printing why not."""
+    if job.state != JOB_COMPLETED or job.result is None:
+        print(f"repro: job {job.state}: {job.detail}", file=sys.stderr)
+        return None
+    return job.result.payload_mapping()
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    from repro.core.timing import platform_timings
-    from repro.fpga import LFE5U_25F_LUTS, lora_rx_design, lora_tx_design
-    from repro.platforms import total_cost_usd
-
+    payload = _payload(_run_job("info", {}))
+    if payload is None:
+        return 1
     print("tinySDR platform summary")
-    print(f"  unit cost (1000 units):   ${total_cost_usd():.2f}")
-    print(f"  FPGA:                     LFE5U-25F, {LFE5U_25F_LUTS} LUTs")
-    print(f"  LoRa modem (SF8):         TX {lora_tx_design(8).luts} / "
-          f"RX {lora_rx_design(8).luts} LUTs")
+    print(f"  unit cost (1000 units):   ${payload['unit_cost_usd']:.2f}")
+    print(f"  FPGA:                     LFE5U-25F, "
+          f"{payload['fpga_luts']} LUTs")
+    print(f"  LoRa modem (SF{payload['modem_sf']}):         "
+          f"TX {payload['lora_tx_luts']} / "
+          f"RX {payload['lora_rx_luts']} LUTs")
     print("  operation timings:")
-    for operation, milliseconds in platform_timings().as_table():
+    for operation, milliseconds in payload["timings_ms"].items():
         print(f"    {operation:26s} {milliseconds:8.3f} ms")
     return 0
 
 
 def _cmd_power(args: argparse.Namespace) -> int:
-    from repro.power import PlatformState, PowerManagementUnit
-
-    pmu = PowerManagementUnit()
-    rows = [(PlatformState.SLEEP, {}),
-            (PlatformState.MCU_ONLY, {}),
-            (PlatformState.IQ_TX, {"tx_power_dbm": args.tx_power}),
-            (PlatformState.IQ_RX, {}),
-            (PlatformState.CONCURRENT_RX, {}),
-            (PlatformState.BACKBONE_RX, {}),
-            (PlatformState.BACKBONE_TX, {})]
+    payload = _payload(_run_job(
+        "power", {"tx_power_dbm": args.tx_power}))
+    if payload is None:
+        return 1
     print(f"{'state':16s} {'battery power':>14s}")
-    for state, kwargs in rows:
-        pmu.enter_state(state, **kwargs)
-        power = pmu.battery_power_w()
+    for state, power in payload["states"].items():
         unit = "uW" if power < 1e-3 else "mW"
         value = power * (1e6 if unit == "uW" else 1e3)
-        print(f"{state.value:16s} {value:10.1f} {unit}")
+        print(f"{state:16s} {value:10.1f} {unit}")
     return 0
 
 
 def _cmd_sweep_lora(args: argparse.Namespace) -> int:
-    from repro.core.sweeps import lora_symbol_error_rate
-    from repro.phy.lora import LoRaParams
-
-    rng = np.random.default_rng(args.seed)
-    params = LoRaParams(args.sf, args.bandwidth * 1e3)
-    print(f"chirp SER vs RSSI for {params.describe()} "
-          f"({args.symbols} symbols/point)")
-    for rssi in np.arange(args.start, args.stop - 0.5, -args.step):
-        point = lora_symbol_error_rate(params, float(rssi), args.symbols,
-                                       rng)
-        bar = "#" * int(point.error_rate * 40)
-        print(f"  {rssi:7.1f} dBm  {point.error_rate * 100:6.2f}%  {bar}")
+    payload = _payload(_run_job(
+        "sweep-lora",
+        {"spreading_factor": args.sf, "bandwidth_khz": args.bandwidth,
+         "start_dbm": args.start, "stop_dbm": args.stop,
+         "step_db": args.step, "symbols": args.symbols},
+        seed=args.seed))
+    if payload is None:
+        return 1
+    print(f"chirp SER vs RSSI for {payload['describe']} "
+          f"({payload['symbols']} symbols/point)")
+    for point in payload["points"]:
+        bar = "#" * int(point["error_rate"] * 40)
+        print(f"  {point['rssi_dbm']:7.1f} dBm  "
+              f"{point['error_rate'] * 100:6.2f}%  {bar}")
     return 0
 
 
 def _cmd_sweep_ble(args: argparse.Namespace) -> int:
-    from repro.core.sweeps import ble_beacon_error_rate
-
-    rng = np.random.default_rng(args.seed)
-    print(f"BLE beacon BER vs RSSI ({args.packets} packets/point)")
-    for rssi in np.arange(args.start, args.stop - 0.5, -args.step):
-        point = ble_beacon_error_rate(float(rssi), args.packets, rng)
-        marker = " <-- 1e-3" if point.error_rate > 1e-3 else ""
-        print(f"  {rssi:7.1f} dBm  BER {point.error_rate:.5f}{marker}")
+    payload = _payload(_run_job(
+        "sweep-ble",
+        {"start_dbm": args.start, "stop_dbm": args.stop,
+         "step_db": args.step, "packets": args.packets},
+        seed=args.seed))
+    if payload is None:
+        return 1
+    print(f"BLE beacon BER vs RSSI ({payload['packets']} packets/point)")
+    for point in payload["points"]:
+        marker = " <-- 1e-3" if point["error_rate"] > 1e-3 else ""
+        print(f"  {point['rssi_dbm']:7.1f} dBm  "
+              f"BER {point['error_rate']:.5f}{marker}")
     return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.fpga import generate_bitstream
-    from repro.testbed import campus_deployment, run_campaign
-
-    rng = np.random.default_rng(args.seed)
-    deployment = campus_deployment(num_nodes=args.nodes)
-    utilization = {"lora": 0.1125, "ble": 0.03}[args.image]
-    image = generate_bitstream(utilization, seed=42)
-    print(f"programming {args.nodes} nodes with the {args.image} image "
-          f"({len(image) // 1024} kB raw)...")
-    campaign = run_campaign(deployment, image, args.image, rng)
-    durations = campaign.durations_s()
-    print(f"  programmed {durations.size}/{args.nodes} nodes")
-    print(f"  mean {campaign.mean_duration_s():.0f} s, "
-          f"min {durations.min():.0f} s, max {durations.max():.0f} s")
-    print(f"  fleet energy {campaign.total_node_energy_j():.0f} J")
-    return 0 if durations.size == args.nodes else 1
+    payload = _payload(_run_job(
+        "campaign", {"image": args.image, "nodes": args.nodes},
+        seed=args.seed))
+    if payload is None:
+        return 1
+    print(f"programming {payload['nodes']} nodes with the "
+          f"{payload['image']} image ({payload['image_kib']} kB raw)...")
+    print(f"  programmed {payload['programmed']}/{payload['nodes']} nodes")
+    print(f"  mean {payload['mean_duration_s']:.0f} s, "
+          f"min {payload['min_duration_s']:.0f} s, "
+          f"max {payload['max_duration_s']:.0f} s")
+    print(f"  fleet energy {payload['total_node_energy_j']:.0f} J")
+    return 0 if payload["programmed"] == payload["nodes"] else 1
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.ota.fleet import (
-        FleetBurstLoss,
-        FleetCampaignConfig,
-        run_fleet_campaign_sharded,
-        write_fleet_spill,
-    )
-
-    config = FleetCampaignConfig(
-        num_nodes=args.nodes, image_bytes=args.image_bytes, seed=args.seed,
-        loss=FleetBurstLoss() if args.loss else None,
-        verify_failure_prob=args.verify_failure_prob)
-    report = run_fleet_campaign_sharded(config, shards=args.shards,
-                                        processes=args.processes)
-    print(f"fleet campaign: {args.nodes} nodes, "
-          f"{config.num_fragments} fragments x {args.image_bytes} B image, "
-          f"seed {args.seed}, {args.shards} shard(s)")
-    for label, count in report.outcome_counts().items():
+    config = {"nodes": args.nodes, "image_bytes": args.image_bytes,
+              "shards": args.shards, "processes": args.processes,
+              "loss": args.loss,
+              "verify_failure_prob": args.verify_failure_prob,
+              "spill": args.spill}
+    payload = _payload(_run_job("fleet", config, seed=args.seed))
+    if payload is None:
+        return 1
+    print(f"fleet campaign: {payload['nodes']} nodes, "
+          f"{payload['num_fragments']} fragments x "
+          f"{payload['image_bytes']} B image, "
+          f"seed {args.seed}, {payload['shards']} shard(s)")
+    for label, count in payload["outcomes"].items():
         print(f"  {label:12s} {count:>9d}")
-    print(f"  {'events':12s} {report.total_events:>9d}")
-    print(f"  {'energy':12s} {report.total_energy_j:>11.1f} J")
-    if args.spill:
-        stats = write_fleet_spill(report, args.spill)
-        print(f"  spilled {stats['rows_written']} rows to {args.spill} "
-              f"({stats['max_buffered']} max resident)")
-    abandoned = report.outcome_counts()["abandoned"]
-    return 0 if abandoned < args.nodes else 1
+    print(f"  {'events':12s} {payload['total_events']:>9d}")
+    print(f"  {'energy':12s} {payload['total_energy_j']:>11.1f} J")
+    if "spill" in payload:
+        spill = payload["spill"]
+        print(f"  spilled {spill['rows_written']} rows to "
+              f"{spill['path']} ({spill['max_buffered']} max resident)")
+    abandoned = payload["outcomes"]["abandoned"]
+    return 0 if abandoned < payload["nodes"] else 1
 
 
 def _cmd_adr(args: argparse.Namespace) -> int:
-    from repro.protocols.lorawan.adr import fixed_rate_cost, simulate_adr
-    from repro.testbed import campus_deployment
-
-    rng = np.random.default_rng(args.seed)
-    deployment = campus_deployment()
-    _, baseline = fixed_rate_cost(12, 14.0)
+    payload = _payload(_run_job("adr", {}, seed=args.seed))
+    if payload is None:
+        return 1
     print(f"{'node':>4s} {'path loss':>10s} {'converged':>14s} "
           f"{'saving':>8s} {'delivery':>9s}")
-    for node in deployment.nodes:
-        path_loss = (deployment.ap_tx_power_dbm
-                     + deployment.ap_antenna_gain_dbi
-                     - deployment.downlink_rssi_dbm(node, rng))
-        result = simulate_adr(path_loss, rng)
-        saving = baseline / result.energy_j_per_packet
-        print(f"{node.node_id:4d} {path_loss:7.0f} dB "
-              f"SF{result.final_sf}/{result.final_tx_power_dbm:4.0f} dBm "
-              f"{saving:7.1f}x {result.delivery_ratio:9.2f}")
+    for row in payload["nodes"]:
+        print(f"{row['node_id']:4d} {row['path_loss_db']:7.0f} dB "
+              f"SF{row['final_sf']}/{row['final_tx_power_dbm']:4.0f} dBm "
+              f"{row['saving']:7.1f}x {row['delivery_ratio']:9.2f}")
     return 0
 
 

@@ -1,0 +1,40 @@
+"""One construction point for job-level random generators.
+
+Before the campaign service existed every CLI subcommand built its own
+``np.random.default_rng(args.seed)`` ad hoc, which made it easy for a
+refactor to silently change *where* in the argument flow the generator
+was constructed — and therefore which draws land where.  This module is
+the single choke point both the thin CLI clients and the
+:mod:`repro.service` workload adapters go through, so a
+:class:`~repro.service.jobspec.JobSpec` seeds bit-identically no matter
+which path runs it.
+
+The fleet engine's counter-based per-node streams
+(:func:`repro.ota.fleet.rng.spawn_rng`) are deliberately separate: they
+key on ``(seed, node_id, draw_index)`` and never touch a sequential
+generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def job_rng(seed: int) -> np.random.Generator:
+    """The sequential generator a seeded job draws from.
+
+    Every workload that consumes a sequential random stream — sweeps,
+    campus campaigns, ADR studies — must obtain its generator here with
+    the job's root seed, so the draw sequence is a function of the
+    :class:`~repro.service.jobspec.JobSpec` alone.
+
+    Raises:
+        ConfigurationError: for a negative seed (numpy would accept it
+            only via entropy-pool semantics, which are not replayable
+            from the spec).
+    """
+    if seed < 0:
+        raise ConfigurationError(f"job seed must be >= 0, got {seed}")
+    return np.random.default_rng(seed)

@@ -1,0 +1,385 @@
+"""The campaign service facade: submit, schedule, execute, stream.
+
+:class:`CampaignService` is the testbed-as-a-service front door.  A
+tenant submits a :class:`~repro.service.jobspec.JobSpec`; admission
+(quota + token bucket) happens at a seeded virtual timestamp; admitted
+jobs wait in a priority queue; dispatch routes each job through the
+content-addressed :class:`~repro.service.cache.ResultCache` and — only
+on a miss — the :class:`~repro.service.registry.WorkloadRegistry`.
+
+Every decision is journaled as a ``service.*`` event on one
+:class:`repro.sim.Timeline`, which is also the service's *only* clock:
+admission overheads are seeded draws, execution spans are the
+deterministic virtual costs the adapters report, and nothing ever reads
+wall time.  Two services fed the same submission sequence therefore
+produce bit-identical ledgers, results and stats — the property the
+``REPRO_DETERMINISM=1`` double-run check re-proves in two fresh
+interpreters (:func:`repro.analysis.determinism.service_check_from_env`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ReproError
+from repro.perf.cache import CacheStats
+from repro.seeding import job_rng
+from repro.service.cache import DEFAULT_RESULT_CACHE_ENTRIES, ResultCache
+from repro.service.jobspec import DEFAULT_TENANT, JobResult, JobSpec
+from repro.service.queue import JobQueue
+from repro.service.registry import UnknownWorkloadError, WorkloadRegistry
+from repro.service.tenancy import TenantConfig, TenantState
+from repro.service.workloads import default_registry
+from repro.sim import (
+    SERVICE_ADMIT,
+    SERVICE_CACHE_HIT,
+    SERVICE_COMPLETE,
+    SERVICE_DISPATCH,
+    SERVICE_EXECUTE,
+    SERVICE_PROGRESS,
+    SERVICE_REJECT,
+    SERVICE_SUBMIT,
+    SimEvent,
+    Timeline,
+)
+
+SERVICE_COMPONENT = "service"
+"""Timeline component every service.* ledger row is attributed to."""
+
+ADMISSION_OVERHEAD_S = 1e-3
+"""Mean virtual-time cost of processing one submission."""
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_COMPLETED = "completed"
+JOB_REJECTED = "rejected"
+JOB_FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle record inside the service.
+
+    Attributes:
+        job_id: monotonically assigned submission sequence number (the
+            deterministic FIFO tiebreaker within a priority band).
+        spec: the submitted job specification.
+        state: one of the ``JOB_*`` lifecycle constants.
+        submitted_at_s: virtual time admission finished processing.
+        started_at_s: virtual time the scheduler dispatched the job.
+        completed_at_s: virtual time the job finished.
+        result: the (possibly cache-served) result when completed.
+        cache_hit: whether the result cache answered with zero engine
+            recompute.
+        detail: rejection or failure reason, empty otherwise.
+    """
+
+    job_id: int
+    spec: JobSpec
+    state: str = JOB_QUEUED
+    submitted_at_s: float = 0.0
+    started_at_s: float | None = None
+    completed_at_s: float | None = None
+    result: JobResult | None = field(default=None, repr=False)
+    cache_hit: bool = False
+    detail: str = ""
+
+    @property
+    def label(self) -> str:
+        """The ledger label prefix all this job's events carry."""
+        return f"job{self.job_id}"
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of the service's counters, plan-cache-stats style.
+
+    Attributes:
+        submitted: jobs that entered admission.
+        admitted: jobs that cleared quota and rate limits.
+        rejected: jobs refused at admission.
+        completed: jobs finished (fresh runs plus cache hits).
+        failed: jobs whose workload raised.
+        cache_hits: completions served from the result cache.
+        queue_depth: jobs currently awaiting dispatch.
+        virtual_now_s: the service clock.
+        cache: result-cache counters (same shape as plan-cache stats).
+        invocations: per-kind engine invocation counters.
+        tenants: per-tenant counter mappings.
+    """
+
+    submitted: int
+    admitted: int
+    rejected: int
+    completed: int
+    failed: int
+    cache_hits: int
+    queue_depth: int
+    virtual_now_s: float
+    cache: CacheStats
+    invocations: dict[str, int]
+    tenants: dict[str, dict[str, int]]
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Completions served from cache (0 when nothing completed)."""
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+
+class CampaignService:
+    """Deterministic multi-tenant campaign scheduler.
+
+    Args:
+        registry: workload registry (defaults to the built-in adapters).
+        tenants: extra tenant configurations; a permissive ``default``
+            tenant is always present.
+        cache_entries: result-cache capacity.
+        seed: seeds the admission-overhead draws — the service's only
+            randomness, making the virtual clock a pure function of
+            ``(seed, submission sequence)``.
+    """
+
+    def __init__(self, registry: WorkloadRegistry | None = None,
+                 tenants: tuple[TenantConfig, ...] = (),
+                 cache_entries: int = DEFAULT_RESULT_CACHE_ENTRIES,
+                 seed: int = 0) -> None:
+        self.registry = registry if registry is not None \
+            else default_registry()
+        self.timeline = Timeline()
+        self.cache = ResultCache(max_entries=cache_entries)
+        self._queue = JobQueue()
+        self._rng = job_rng(seed)
+        self._jobs: dict[int, Job] = {}
+        self._next_job_id = 1
+        self._failed = 0
+        self._tenants: dict[str, TenantState] = {}
+        self.add_tenant(TenantConfig(name=DEFAULT_TENANT,
+                                     max_pending=1024,
+                                     bucket_capacity=1024.0,
+                                     refill_per_s=1024.0))
+        for config in tenants:
+            self.add_tenant(config)
+
+    # -- tenancy -----------------------------------------------------------
+
+    def add_tenant(self, config: TenantConfig) -> TenantState:
+        """Register a tenant (replacing re-registers policy, not state).
+
+        Raises:
+            ConfigurationError: when the tenant already exists.
+        """
+        if config.name in self._tenants:
+            raise ConfigurationError(
+                f"tenant {config.name!r} already registered")
+        state = TenantState(config, now_s=self.timeline.now_s)
+        self._tenants[config.name] = state
+        return state
+
+    def tenant(self, name: str) -> TenantState:
+        """The live state for ``name``.
+
+        Raises:
+            ConfigurationError: for an unknown tenant.
+        """
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown tenant {name!r}; known: "
+                f"{', '.join(sorted(self._tenants))}") from None
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one job: quota, rate limit, queue.
+
+        Returns the job record either queued (``state == "queued"``) or
+        rejected (``state == "rejected"`` with ``detail`` set).  The
+        admission decision itself costs a seeded draw of virtual time,
+        so ordering and rate-limit outcomes are replayable.
+
+        Raises:
+            UnknownWorkloadError: when no adapter is registered for the
+                spec's kind (a malformed spec, not an admission verdict).
+            ConfigurationError: for an unknown tenant.
+        """
+        if spec.kind not in self.registry:
+            raise UnknownWorkloadError(
+                f"no workload registered for kind {spec.kind!r}; "
+                f"known kinds: {', '.join(self.registry.kinds())}")
+        tenant = self.tenant(spec.tenant)
+        job = Job(job_id=self._next_job_id, spec=spec)
+        self._next_job_id += 1
+        self._jobs[job.job_id] = job
+        tenant.counters.submitted += 1
+        overhead = float(
+            self._rng.uniform(0.5, 1.5)) * ADMISSION_OVERHEAD_S
+        self.timeline.record(
+            SERVICE_SUBMIT, SERVICE_COMPONENT,
+            label=(f"{job.label} submit kind={spec.kind} "
+                   f"tenant={spec.tenant}"),
+            duration_s=overhead)
+        job.submitted_at_s = self.timeline.now_s
+        if not tenant.has_quota():
+            return self._reject(
+                job, tenant,
+                f"tenant {spec.tenant!r} pending quota "
+                f"({tenant.config.max_pending}) exhausted")
+        if not tenant.bucket.try_take(self.timeline.now_s):
+            return self._reject(
+                job, tenant,
+                f"tenant {spec.tenant!r} rate limit exceeded "
+                f"(bucket empty)")
+        tenant.pending += 1
+        tenant.counters.admitted += 1
+        job.state = JOB_QUEUED
+        self._queue.push(job)
+        self.timeline.record(
+            SERVICE_ADMIT, SERVICE_COMPONENT,
+            label=f"{job.label} admit priority={spec.priority}")
+        return job
+
+    def _reject(self, job: Job, tenant: TenantState, reason: str) -> Job:
+        job.state = JOB_REJECTED
+        job.detail = reason
+        tenant.counters.rejected += 1
+        self.timeline.record(
+            SERVICE_REJECT, SERVICE_COMPONENT,
+            label=f"{job.label} reject: {reason}")
+        return job
+
+    # -- scheduling --------------------------------------------------------
+
+    def run_next(self) -> Job | None:
+        """Dispatch the most urgent queued job; ``None`` when idle."""
+        if not self._queue:
+            return None
+        job = self._queue.pop()
+        tenant = self.tenant(job.spec.tenant)
+        job.state = JOB_RUNNING
+        job.started_at_s = self.timeline.now_s
+        self.timeline.record(
+            SERVICE_DISPATCH, SERVICE_COMPONENT,
+            label=f"{job.label} dispatch kind={job.spec.kind}")
+        address = job.spec.content_address
+        cached = self.cache.get(address)
+        if cached is not None:
+            job.result = cached
+            job.cache_hit = True
+            self.timeline.record(
+                SERVICE_CACHE_HIT, SERVICE_COMPONENT,
+                label=f"{job.label} cache hit {address[:12]}")
+            return self._complete(job, tenant)
+        try:
+            payload, cost = self.registry.invoke(
+                job.spec.kind, job.spec.config_mapping(), job.spec.seed,
+                self._progress_emitter(job))
+        except ReproError as exc:
+            return self._fail(job, tenant, exc)
+        self.timeline.record(
+            SERVICE_EXECUTE, SERVICE_COMPONENT,
+            label=f"{job.label} execute kind={job.spec.kind}",
+            duration_s=cost)
+        job.result = JobResult(address=address, kind=job.spec.kind,
+                               seed=job.spec.seed, payload=payload,
+                               virtual_cost_s=cost)
+        self.cache.put(job.result)
+        return self._complete(job, tenant)
+
+    def _progress_emitter(self, job: Job):
+        def emit(detail: str) -> None:
+            self.timeline.record(
+                SERVICE_PROGRESS, SERVICE_COMPONENT,
+                label=f"{job.label} progress: {detail}",
+                advance=False)
+        return emit
+
+    def _complete(self, job: Job, tenant: TenantState) -> Job:
+        job.state = JOB_COMPLETED
+        job.completed_at_s = self.timeline.now_s
+        tenant.pending -= 1
+        tenant.counters.completed += 1
+        if job.cache_hit:
+            tenant.counters.cache_hits += 1
+        self.timeline.record(
+            SERVICE_COMPLETE, SERVICE_COMPONENT,
+            label=(f"{job.label} complete "
+                   f"{'cached' if job.cache_hit else 'computed'}"))
+        return job
+
+    def _fail(self, job: Job, tenant: TenantState,
+              exc: ReproError) -> Job:
+        job.state = JOB_FAILED
+        job.detail = f"{type(exc).__name__}: {exc}"
+        job.completed_at_s = self.timeline.now_s
+        tenant.pending -= 1
+        self._failed += 1
+        self.timeline.record(
+            SERVICE_COMPLETE, SERVICE_COMPONENT,
+            label=f"{job.label} failed: {job.detail}")
+        return job
+
+    def run_until_idle(self) -> list[Job]:
+        """Drain the queue; returns the jobs finished by this call."""
+        finished: list[Job] = []
+        while True:
+            job = self.run_next()
+            if job is None:
+                return finished
+            finished.append(job)
+
+    def submit_and_run(self, spec: JobSpec) -> Job:
+        """Submit one job and drain the queue (the thin-client path).
+
+        The returned job is completed, failed or rejected — never left
+        queued.
+        """
+        job = self.submit(spec)
+        if job.state == JOB_QUEUED:
+            self.run_until_idle()
+        return job
+
+    # -- introspection -----------------------------------------------------
+
+    def job(self, job_id: int) -> Job:
+        """The lifecycle record for ``job_id``.
+
+        Raises:
+            ConfigurationError: for an unknown job id.
+        """
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown job id {job_id}") from None
+
+    def jobs(self) -> tuple[Job, ...]:
+        """Every job this service has seen, in submission order."""
+        return tuple(self._jobs[job_id]
+                     for job_id in sorted(self._jobs))
+
+    def job_events(self, job_id: int) -> tuple[SimEvent, ...]:
+        """The job's progress ledger: its ``service.*`` event stream."""
+        prefix = f"job{self.job(job_id).job_id} "
+        return tuple(event for event in self.timeline
+                     if event.label.startswith(prefix))
+
+    def stats(self) -> ServiceStats:
+        """Counters snapshot across admission, cache and execution."""
+        tenants = {name: state.counters.as_dict()
+                   for name, state in sorted(self._tenants.items())}
+        totals = {key: sum(counters[key] for counters in tenants.values())
+                  for key in ("submitted", "admitted", "rejected",
+                              "completed", "cache_hits")}
+        return ServiceStats(
+            submitted=totals["submitted"],
+            admitted=totals["admitted"],
+            rejected=totals["rejected"],
+            completed=totals["completed"],
+            failed=self._failed,
+            cache_hits=totals["cache_hits"],
+            queue_depth=len(self._queue),
+            virtual_now_s=self.timeline.now_s,
+            cache=self.cache.stats(),
+            invocations=self.registry.invocation_counts(),
+            tenants=tenants)

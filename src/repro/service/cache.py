@@ -1,0 +1,98 @@
+"""Content-addressed whole-campaign result cache.
+
+This extends the :mod:`repro.perf` plan-cache idiom — a bounded LRU
+with hit/miss/eviction counters — from derived DSP artifacts up to
+whole :class:`~repro.service.jobspec.JobResult` values.  The key is the
+spec's SHA-256 content address, so identical seeded jobs submitted by
+any tenant dedupe to one engine run; a hit re-serves the cached result
+with zero engine recompute (asserted in the tests via the registry's
+invocation counters).
+
+Unlike :class:`repro.perf.cache.PlanCache`, lookups and stores are
+separate operations: the scheduler must *know* whether a job hit so it
+can journal a ``service.cache`` ledger event instead of dispatching the
+workload — ``get_or_build`` would hide that decision.  The counters
+snapshot reuses :class:`repro.perf.cache.CacheStats`, so service cache
+stats surface exactly like plan-cache stats do in the bench metadata.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+from repro.perf.cache import CacheStats
+from repro.service.jobspec import JobResult
+
+DEFAULT_RESULT_CACHE_ENTRIES = 256
+"""Default result-cache capacity; whole campaigns are few and large."""
+
+
+class ResultCache:
+    """Bounded LRU mapping content addresses to job results.
+
+    Args:
+        max_entries: maximum resident results; least recently used
+            results are evicted past this bound.
+
+    Raises:
+        ConfigurationError: for a non-positive capacity.
+    """
+
+    def __init__(self,
+                 max_entries: int = DEFAULT_RESULT_CACHE_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, JobResult] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, address: str) -> JobResult | None:
+        """The cached result for ``address``, or ``None`` on a miss.
+
+        Hits refresh recency; both outcomes update the counters.
+        """
+        try:
+            result = self._entries[address]
+        except KeyError:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(address)
+        self._hits += 1
+        return result
+
+    def put(self, result: JobResult) -> None:
+        """Store a freshly computed result under its content address.
+
+        Re-storing an existing address refreshes recency but keeps the
+        original result: content-addressed values are immutable, so the
+        first computation is as good as any.
+        """
+        if result.address not in self._entries:
+            self._entries[result.address] = result
+        self._entries.move_to_end(result.address)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all results and reset the counters (test isolation)."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        """Counters snapshot, same shape as the plan cache's."""
+        return CacheStats(hits=self._hits, misses=self._misses,
+                          entries=len(self._entries),
+                          evictions=self._evictions)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._entries

@@ -1,0 +1,216 @@
+"""Typed job specifications with content-addressed identity.
+
+A :class:`JobSpec` is the unit of work a tenant submits to the campaign
+service: a registered workload kind, a JSON-able configuration mapping
+and a root seed.  Because every engine in this repository is a pure
+function of ``(config, seed)`` — that is the whole reproducibility
+contract the lint rules and parity goldens enforce — two specs with
+equal ``(kind, config, seed)`` denote the *same computation*, and the
+service dedupes them through a content-addressed result cache.
+
+The content address is a SHA-256 over a canonical serialization:
+mappings are emitted with sorted keys, sequences positionally, and
+floats as ``float.hex()`` so the address distinguishes values that
+differ in the last ulp (a JSON round-trip through decimal would not).
+Tenant and priority are routing metadata, not identity: two tenants
+submitting the same seeded job share one cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+PRIORITY_HIGH = 0
+PRIORITY_NORMAL = 10
+PRIORITY_BATCH = 20
+"""Priority bands: lower sorts earlier.  Ties dispatch in submit order."""
+
+DEFAULT_TENANT = "default"
+
+
+def canonical_form(value: Any) -> Any:
+    """Normalize a JSON-able value into an immutable canonical shape.
+
+    Mappings become key-sorted tuples of ``(key, value)`` pairs,
+    sequences become tuples, scalars pass through.  The result is
+    hashable-free of dicts/lists so a frozen :class:`JobSpec` cannot be
+    mutated through its config after submission.
+
+    Raises:
+        ConfigurationError: for non-string mapping keys or values
+            outside the JSON-able vocabulary (no numpy arrays, no
+            arbitrary objects — specs must be wire-shippable).
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, Mapping):
+        items = []
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"config keys must be strings, got {key!r}")
+            items.append((key, canonical_form(value[key])))
+        return tuple(items)
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_form(item) for item in value)
+    raise ConfigurationError(
+        f"config values must be JSON-able scalars/sequences/mappings, "
+        f"got {type(value).__name__}: {value!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Render a canonical form (or raw JSON-able value) as one string.
+
+    Floats are rendered via ``float.hex()`` so the serialization is
+    bit-exact; mappings (already key-sorted tuples of pairs after
+    :func:`canonical_form`) render as JSON objects.  The output is the
+    hashing pre-image for :func:`content_address` and the fingerprint
+    base for the determinism double-run check.
+    """
+    form = canonical_form(value)
+    return _render(form)
+
+
+def _render(form: Any) -> str:
+    if isinstance(form, bool):
+        return "true" if form else "false"
+    if form is None:
+        return "null"
+    if isinstance(form, float):
+        return json.dumps(form.hex())
+    if isinstance(form, int):
+        return str(form)
+    if isinstance(form, str):
+        return json.dumps(form, ensure_ascii=True)
+    if isinstance(form, tuple) and _is_pair_tuple(form):
+        inner = ",".join(f"{json.dumps(k)}:{_render(v)}" for k, v in form)
+        return "{" + inner + "}"
+    if isinstance(form, tuple):
+        return "[" + ",".join(_render(item) for item in form) + "]"
+    raise ConfigurationError(
+        f"cannot render non-canonical value {form!r}")
+
+
+def _is_pair_tuple(form: tuple) -> bool:
+    """Whether a tuple is a canonicalized mapping (all (str, v) pairs)."""
+    return (len(form) > 0
+            and all(isinstance(item, tuple) and len(item) == 2
+                    and isinstance(item[0], str) for item in form))
+
+
+def content_address(kind: str, config: Any, seed: int) -> str:
+    """SHA-256 content address over the job's identity triple."""
+    preimage = canonical_json(
+        {"kind": kind, "config": config, "seed": seed})
+    return hashlib.sha256(preimage.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of schedulable work: ``(kind, config, seed)`` + routing.
+
+    Attributes:
+        kind: workload kind registered in the
+            :class:`~repro.service.registry.WorkloadRegistry`.
+        config: JSON-able workload configuration (canonicalized on
+            construction; empty mapping for parameterless workloads).
+        seed: root seed of every random stream the workload draws.
+        tenant: submitting tenant name (routing metadata, not identity).
+        priority: scheduling band; lower dispatches first.
+    """
+
+    kind: str
+    config: Any = ()
+    seed: int = 0
+    tenant: str = DEFAULT_TENANT
+    priority: int = PRIORITY_NORMAL
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ConfigurationError("job kind must be non-empty")
+        if self.seed < 0:
+            raise ConfigurationError(
+                f"job seed must be >= 0, got {self.seed}")
+        if not self.tenant:
+            raise ConfigurationError("tenant name must be non-empty")
+        object.__setattr__(self, "config", canonical_form(self.config))
+
+    @property
+    def content_address(self) -> str:
+        """The spec's SHA-256 identity (tenant/priority excluded)."""
+        return content_address(self.kind, self.config, self.seed)
+
+    def config_mapping(self) -> dict[str, Any]:
+        """The canonical config re-inflated as a plain dict for adapters.
+
+        Nested mappings stay in canonical pair-tuple form only at the
+        top level conversion point; adapters read scalar knobs, so one
+        level of dict view is what they need (nested values are
+        re-inflated recursively).
+        """
+        return _inflate_mapping(self.config)
+
+
+def _inflate_mapping(form: Any) -> dict[str, Any]:
+    if form == ():
+        return {}
+    if not (isinstance(form, tuple) and _is_pair_tuple(form)):
+        raise ConfigurationError(
+            f"job config must be a mapping, got {form!r}")
+    return {key: _inflate(value) for key, value in form}
+
+
+def _inflate(form: Any) -> Any:
+    if isinstance(form, tuple) and _is_pair_tuple(form):
+        return _inflate_mapping(form)
+    if isinstance(form, tuple):
+        return tuple(_inflate(item) for item in form)
+    return form
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What a completed job produced, cache-addressable and re-servable.
+
+    Attributes:
+        address: the producing spec's content address.
+        kind: workload kind that produced the payload.
+        seed: root seed the workload ran under.
+        payload: JSON-able result data (canonicalized, so cached results
+            are immutable and bit-stable across re-serves).
+        virtual_cost_s: deterministic virtual-time execution span the
+            workload reported (what the scheduler charged the clock).
+    """
+
+    address: str
+    kind: str
+    seed: int
+    payload: Any = field(repr=False)
+    virtual_cost_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.virtual_cost_s < 0:
+            raise ConfigurationError(
+                f"virtual cost must be >= 0, got {self.virtual_cost_s!r}")
+        object.__setattr__(self, "payload", canonical_form(self.payload))
+
+    def payload_mapping(self) -> dict[str, Any]:
+        """The canonical payload re-inflated as a plain dict."""
+        return _inflate_mapping(self.payload)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the result's canonical serialization."""
+        preimage = canonical_json(
+            {"address": self.address, "kind": self.kind,
+             "seed": self.seed, "payload": self.payload,
+             "virtual_cost_s": self.virtual_cost_s})
+        return hashlib.sha256(preimage.encode("utf-8")).hexdigest()

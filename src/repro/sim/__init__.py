@@ -59,6 +59,15 @@ from repro.sim.events import (
     PACKET_TX,
     RADIO_MODE,
     SCHEDULER_FIRE,
+    SERVICE_ADMIT,
+    SERVICE_CACHE_HIT,
+    SERVICE_COMPLETE,
+    SERVICE_DISPATCH,
+    SERVICE_EXECUTE,
+    SERVICE_KINDS,
+    SERVICE_PROGRESS,
+    SERVICE_REJECT,
+    SERVICE_SUBMIT,
     SLEEP,
     WATCHDOG_RESET,
     SimEvent,
@@ -112,6 +121,15 @@ __all__ = [
     "PACKET_TX",
     "RADIO_MODE",
     "SCHEDULER_FIRE",
+    "SERVICE_ADMIT",
+    "SERVICE_CACHE_HIT",
+    "SERVICE_COMPLETE",
+    "SERVICE_DISPATCH",
+    "SERVICE_EXECUTE",
+    "SERVICE_KINDS",
+    "SERVICE_PROGRESS",
+    "SERVICE_REJECT",
+    "SERVICE_SUBMIT",
     "SLEEP",
     "WATCHDOG_RESET",
     "RollupBin",

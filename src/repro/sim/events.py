@@ -38,11 +38,23 @@ kind                meaning
 ``fault.brownout``  injected node brownout/reboot mid-transfer
 ``fault.outage``    packet fell inside an injected AP outage window
 ``fault.hang``      injected MCU hang (watchdog-detected)
+``service.submit``  a tenant submitted a job to the campaign service
+``service.admit``   the job cleared quota/rate-limit admission
+``service.reject``  admission refused the job (quota or rate limit)
+``service.dispatch``  the scheduler picked the job off the queue
+``service.progress``  a workload adapter reported a progress milestone
+``service.execute``  the workload's whole virtual-time execution span
+``service.cache``   the result cache answered the job (zero recompute)
+``service.complete``  the job finished and its result was recorded
 ==================  =====================================================
 
 The ``fault.*`` namespace is reserved for *injected* failures from
 :mod:`repro.faults`: traces carry exactly what was done to the system,
-distinct from the ``ota.*`` events that show how it coped.
+distinct from the ``ota.*`` events that show how it coped.  The
+``service.*`` namespace is reserved for the multi-tenant campaign
+service (:mod:`repro.service`): its virtual-time scheduler journals
+every admission, dispatch and completion decision as ledger rows so a
+tenant can stream a job's progress.
 
 Events carry an optional ``power_w`` so energy falls out of the ledger
 as ``power x duration``; activities whose energy is not a constant-power
@@ -86,6 +98,14 @@ FAULT_FLASH = "fault.flash"
 FAULT_BROWNOUT = "fault.brownout"
 FAULT_OUTAGE = "fault.outage"
 FAULT_HANG = "fault.hang"
+SERVICE_SUBMIT = "service.submit"
+SERVICE_ADMIT = "service.admit"
+SERVICE_REJECT = "service.reject"
+SERVICE_DISPATCH = "service.dispatch"
+SERVICE_PROGRESS = "service.progress"
+SERVICE_EXECUTE = "service.execute"
+SERVICE_CACHE_HIT = "service.cache"
+SERVICE_COMPLETE = "service.complete"
 
 #: Every kind the ledger understands, for validation and docs.
 ALL_KINDS = frozenset({
@@ -96,12 +116,20 @@ ALL_KINDS = frozenset({
     OTA_CHECKPOINT, OTA_RESUME, OTA_ROLLBACK, OTA_VERIFY, WATCHDOG_RESET,
     FAULT_LOSS, FAULT_CORRUPT, FAULT_FLASH, FAULT_BROWNOUT, FAULT_OUTAGE,
     FAULT_HANG,
+    SERVICE_SUBMIT, SERVICE_ADMIT, SERVICE_REJECT, SERVICE_DISPATCH,
+    SERVICE_PROGRESS, SERVICE_EXECUTE, SERVICE_CACHE_HIT, SERVICE_COMPLETE,
 })
 
 #: The injected-failure namespace (every kind repro.faults may emit).
 FAULT_KINDS = frozenset({
     FAULT_LOSS, FAULT_CORRUPT, FAULT_FLASH, FAULT_BROWNOUT, FAULT_OUTAGE,
     FAULT_HANG,
+})
+
+#: The campaign-service namespace (every kind repro.service may emit).
+SERVICE_KINDS = frozenset({
+    SERVICE_SUBMIT, SERVICE_ADMIT, SERVICE_REJECT, SERVICE_DISPATCH,
+    SERVICE_PROGRESS, SERVICE_EXECUTE, SERVICE_CACHE_HIT, SERVICE_COMPLETE,
 })
 
 

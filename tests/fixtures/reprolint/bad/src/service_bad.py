@@ -1,0 +1,14 @@
+"""A thin client reaching around the workload registry."""
+
+from repro.core.sweeps import ble_beacon_error_rate
+from repro.testbed import campus_deployment, run_campaign
+import repro.ota.fleet
+
+
+def sweep_point(rssi, packets, rng):
+    return ble_beacon_error_rate(rssi, packets, rng)
+
+
+def program(image, label, rng):
+    deployment = campus_deployment(num_nodes=4)
+    return run_campaign(deployment, image, label, rng)

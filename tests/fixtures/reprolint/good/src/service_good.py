@@ -1,0 +1,18 @@
+"""A thin client that routes all work through the campaign service."""
+
+from repro.service import CampaignService, JobSpec
+
+
+def sweep_point(packets, seed):
+    service = CampaignService()
+    job = service.submit_and_run(JobSpec(
+        kind="sweep-ble", config={"packets": packets}, seed=seed))
+    return job.result.payload_mapping()
+
+
+def program(image, nodes, seed):
+    service = CampaignService()
+    job = service.submit_and_run(JobSpec(
+        kind="campaign", config={"image": image, "nodes": nodes},
+        seed=seed))
+    return job.result.payload_mapping()

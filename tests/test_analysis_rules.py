@@ -1,4 +1,4 @@
-"""Golden-fixture tests for the thirteen reprolint rules.
+"""Golden-fixture tests for the fourteen reprolint rules.
 
 The fixtures under ``tests/fixtures/reprolint/`` form two miniature
 projects: ``bad`` contains one file per rule engineered to trip it at
@@ -23,7 +23,8 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures" / "reprolint"
 FIXTURE_CONFIG = LintConfig(
     rule_scopes={"REPRO004": ("*dtype_*.py",),
                  "REPRO006": ("*prov_*.py",),
-                 "REPRO010": ("*fleet_*.py",)})
+                 "REPRO010": ("*fleet_*.py",),
+                 "REPRO014": ("*service_*.py",)})
 
 EXPECTED_BAD = {
     ("REPRO001", "src/rng_bad.py", 6),
@@ -70,6 +71,12 @@ EXPECTED_BAD = {
     ("REPRO012", "src/sig_bad.py", 16),
     ("REPRO013", "src/shard_bad.py", 9),
     ("REPRO013", "src/shard_bad.py", 13),
+    ("REPRO014", "src/service_bad.py", 3),
+    ("REPRO014", "src/service_bad.py", 4),
+    ("REPRO014", "src/service_bad.py", 5),
+    ("REPRO014", "src/service_bad.py", 9),
+    ("REPRO014", "src/service_bad.py", 13),
+    ("REPRO014", "src/service_bad.py", 14),
 }
 
 ALL_RULE_IDS = sorted({rule for rule, _, _ in EXPECTED_BAD})
@@ -117,6 +124,7 @@ def test_scope_override_limits_module_scoped_rules():
     assert "REPRO004" not in rules
     assert "REPRO006" not in rules
     assert "REPRO010" not in rules
+    assert "REPRO014" not in rules
     assert {"REPRO001", "REPRO002", "REPRO003",
             "REPRO005", "REPRO007", "REPRO009"} <= rules
 

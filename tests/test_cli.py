@@ -58,3 +58,69 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "programmed 3/3 nodes" in output
+
+    def test_fleet_small(self, capsys):
+        code = main(["fleet", "--nodes", "64", "--image-bytes", "400",
+                     "--seed", "2", "--shards", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fleet campaign: 64 nodes" in output
+        assert "succeeded" in output
+
+    def test_fleet_spill(self, capsys, tmp_path):
+        spill = tmp_path / "fleet.jsonl"
+        code = main(["fleet", "--nodes", "32", "--image-bytes", "400",
+                     "--spill", str(spill)])
+        assert code == 0
+        assert "spilled" in capsys.readouterr().out
+        assert spill.exists()
+
+    def test_adr(self, capsys):
+        assert main(["adr", "--seed", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "path loss" in output
+        assert "SF" in output
+
+
+ALL_COMMANDS = ["info", "power", "sweep-lora", "sweep-ble", "campaign",
+                "fleet", "adr"]
+
+#: Fast, scaled-down invocations used to pin every subcommand's exit
+#: code without paying for full-size runs.
+SMALL_INVOCATIONS = {
+    "info": [],
+    "power": [],
+    "sweep-lora": ["--start", "-110", "--stop", "-113", "--step", "3",
+                   "--symbols", "5"],
+    "sweep-ble": ["--start", "-80", "--stop", "-82", "--step", "2",
+                  "--packets", "2"],
+    "campaign": ["--nodes", "2"],
+    "fleet": ["--nodes", "16", "--image-bytes", "400"],
+    "adr": [],
+}
+
+
+class TestEverySubcommand:
+    def test_invocation_table_is_complete(self):
+        assert sorted(SMALL_INVOCATIONS) == sorted(ALL_COMMANDS)
+
+    @pytest.mark.parametrize("command", ALL_COMMANDS)
+    def test_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("command", ALL_COMMANDS)
+    def test_small_invocation_exits_zero(self, command, capsys):
+        assert main([command] + SMALL_INVOCATIONS[command]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_failed_job_exits_one(self, capsys):
+        # An out-of-range radio power makes the workload raise; the thin
+        # client reports the failure on stderr and maps it to exit 1
+        # (the legacy CLI crashed with a traceback here).
+        assert main(["power", "--tx-power", "99"]) == 1
+        captured = capsys.readouterr()
+        assert "job failed" in captured.err
+        assert not captured.out

@@ -25,6 +25,7 @@ FAST_EXAMPLES = [
     "mobile_node.py",
     "trace_campaign.py",
     "chaos_campaign.py",
+    "campaign_service.py",
 ]
 
 SLOW_EXAMPLES = [
