@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint semantic chaos check service-smoke bench-hotpath bench-fleet bench-check bench-paper
+.PHONY: test lint semantic chaos check golden-check service-smoke bench-hotpath bench-fleet bench-check bench-paper
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -33,7 +33,14 @@ service-smoke:
 # Full gate: static analysis (all rules plus a cold semantic pass), the
 # service determinism smoke and the perf-regression check, as CI would
 # run them.
-check: lint semantic service-smoke bench-check
+check: lint semantic golden-check service-smoke bench-check
+
+# PHY golden-vector drift gate: the committed conformance corpus
+# (tests/fixtures/phy_golden/) must match what the current modulators
+# and demodulators regenerate, bit for bit.  Rerun the generator
+# without --check after an intentional DSP change.
+golden-check:
+	$(PYTHON) -m tests.gen_phy_golden --check
 
 # Regenerate BENCH_hotpath.json at the repo root.
 bench-hotpath:
@@ -45,8 +52,9 @@ bench-fleet:
 	$(PYTHON) benchmarks/bench_hotpath_throughput.py --only 'ota_campaign*'
 
 # Fail (exit nonzero) on >30% fast-path throughput regression vs the
-# committed BENCH_hotpath.json baseline, and on the fleet floor
-# (ota_campaign_100k must clear 100x ota_campaign events/s).
+# committed BENCH_hotpath.json baseline, and on the absolute floors:
+# the fleet engine (100x ota_campaign events/s), the service cache
+# hit ratio, and the streaming LoRa receiver (>= 4.0 Msps sustained).
 bench-check:
 	$(PYTHON) benchmarks/check_regression.py
 

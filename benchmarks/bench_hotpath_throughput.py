@@ -68,7 +68,12 @@ from repro.ota.fleet import (
 from repro.ota.mac import RetryPolicy
 from repro.perf import cache
 from repro.perf.timing import ThroughputReport, measure_throughput
-from repro.phy.lora import LoRaDemodulator, LoRaModulator, LoRaParams
+from repro.phy.lora import (
+    LoRaDemodulator,
+    LoRaModulator,
+    LoRaParams,
+    StreamingDemodulator,
+)
 from repro.phy.lora.chirp import chirp_train, ideal_chirp_reference
 from repro.phy.lora.demodulator import SymbolDemodulator
 from repro.dsp.fft import Radix2Fft
@@ -86,6 +91,9 @@ CHIRP_SYMBOLS = 256
 FFT_ROWS = 256
 E2E_PAYLOAD = b"tinysdr hot-path benchmark payload!"
 E2E_MODEMS = 4
+STREAMING_PACKETS = 6
+STREAMING_CHUNK = 1 << 14
+STREAMING_MIN_SPS = 4.0e6  # acceptance floor, Msps sustained
 
 FAST_REPEATS = 5
 REFERENCE_REPEATS = 2
@@ -265,6 +273,53 @@ def _bench_lora_end_to_end(report: ThroughputReport,
 
     report.add("lora_end_to_end", "fast", measure_throughput(
         "lora_end_to_end.fast", run_chain, items, repeats=5))
+
+
+def _bench_lora_streaming(report: ThroughputReport,
+                          rng: np.random.Generator) -> None:
+    """Chunked streaming demodulation, in sustained samples/second.
+
+    A multi-packet capture is pushed through a reset
+    :class:`StreamingDemodulator` in fixed ``STREAMING_CHUNK``-sample
+    chunks, packets validated inside the timed closure.  This is the
+    receive topology an OTA gateway runs — the demodulator never sees
+    the whole capture — so the throughput here, not the batch path's,
+    is the paper-facing 4 Msps headline gated by
+    ``benchmarks/check_regression.py``.
+    """
+    params = LoRaParams(7, 125e3, oversampling=2)
+    modulator = LoRaModulator(params)
+    pieces = [np.zeros(2048, dtype=np.complex128)]
+    for index in range(STREAMING_PACKETS):
+        payload = bytes((index + k) % 256 for k in range(24))
+        pieces.append(modulator.modulate(payload))
+        pieces.append(np.zeros(1500 + 700 * index, dtype=np.complex128))
+    capture = np.concatenate(pieces)
+    capture = awgn(capture, snr_db=25.0, rng=rng)
+    items = capture.size
+    demod = StreamingDemodulator(params)
+
+    def run_stream() -> None:
+        demod.reset()
+        decoded = 0
+        for start in range(0, capture.size, STREAMING_CHUNK):
+            decoded += len(demod.push(capture[start:start
+                                              + STREAMING_CHUNK]))
+        decoded += len(demod.flush())
+        if decoded != STREAMING_PACKETS:
+            raise AssertionError(
+                f"streaming demod found {decoded} of "
+                f"{STREAMING_PACKETS} packets")
+
+    report.add("lora_streaming_4msps", "fast", measure_throughput(
+        "lora_streaming_4msps.fast", run_stream, items,
+        repeats=FAST_REPEATS))
+    report.annotate("lora_streaming_4msps", streaming={
+        "backend": demod.backend_name,
+        "chunk_samples": STREAMING_CHUNK,
+        "packets": STREAMING_PACKETS,
+        "min_items_per_second": STREAMING_MIN_SPS,
+    })
 
 
 def _bench_symbol_demod(report: ThroughputReport,
@@ -486,6 +541,7 @@ _ENTRIES = (
     ("campaign_service",
      lambda report, rng: _bench_campaign_service(report)),
     ("lora_end_to_end", _bench_lora_end_to_end),
+    ("lora_streaming_4msps", _bench_lora_streaming),
 )
 
 

@@ -8,14 +8,17 @@ lands.  Speedups are reported but never fail the gate; refresh the
 committed baseline by re-running the harness
 (``python benchmarks/bench_hotpath_throughput.py``).
 
-On top of the relative gate, two absolute floors are enforced within
+On top of the relative gate, three absolute floors are enforced within
 the fresh sweep itself: the vectorized fleet engine
 (``ota_campaign_100k``, ISSUE-6) must sustain at least 100x the legacy
-timeline-backed campaign (``ota_campaign``) in events/second, and the
+timeline-backed campaign (``ota_campaign``) in events/second, the
 campaign service (``campaign_service``, ISSUE-8) must keep its result
 cache's hit ratio on the 50% duplicate-job mix at the designed 0.5
 (floor 0.45) — a drop means content addressing or the dedupe path
-broke.
+broke — and the chunked streaming LoRa receiver
+(``lora_streaming_4msps``, ISSUE-9) must sustain at least 4.0 Msps of
+complex baseband through :class:`StreamingDemodulator`, the paper's
+over-the-air gateway headline.
 
 Usage::
 
@@ -43,6 +46,9 @@ FLEET_MIN_SPEEDUP = 100.0
 
 SERVICE_GROUP = "campaign_service"
 SERVICE_MIN_HIT_RATIO = 0.45
+
+STREAMING_GROUP = "lora_streaming_4msps"
+STREAMING_MIN_SPS = 4.0e6
 
 
 def load_baseline(path: pathlib.Path) -> dict:
@@ -143,6 +149,32 @@ def check_service_floor(fresh: dict,
     return ([], [line])
 
 
+def check_streaming_floor(fresh: dict,
+                          min_sps: float = STREAMING_MIN_SPS
+                          ) -> tuple[list[str], list[str]]:
+    """ISSUE-9 acceptance floor; returns (failures, notes).
+
+    The streaming entry times the chunked :class:`StreamingDemodulator`
+    receive topology — the gateway never holds the whole capture — so
+    the 4 Msps floor is on sustained samples/second from the fresh
+    sweep, an absolute number rather than a baseline-relative one.
+    """
+    results = fresh.get("results", {})
+    try:
+        sps = results[STREAMING_GROUP]["fast"]["items_per_second"]
+    except KeyError:
+        return ([f"streaming floor: {STREAMING_GROUP} missing from "
+                 f"fresh run"], [])
+    backend = (fresh.get("metadata", {}).get("entries", {})
+               .get(STREAMING_GROUP, {}).get("streaming", {})
+               .get("backend", "?"))
+    line = (f"streaming floor: {STREAMING_GROUP} {sps:.3e} samples/s "
+            f"on the {backend} backend (need >= {min_sps:.1e})")
+    if sps < min_sps:
+        return ([line], [])
+    return ([], [line])
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the gate; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -164,7 +196,8 @@ def main(argv: list[str] | None = None) -> int:
     fresh = best_of([collect_report().to_dict()
                      for _ in range(max(1, args.runs))])
     regressions, notes = compare(baseline, fresh, args.threshold)
-    for check in (check_fleet_floor, check_service_floor):
+    for check in (check_fleet_floor, check_service_floor,
+                  check_streaming_floor):
         floor_failures, floor_notes = check(fresh)
         regressions += floor_failures
         notes += floor_notes

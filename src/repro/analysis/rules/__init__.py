@@ -26,6 +26,9 @@ REPRO013  shard-safety          fleet-reachable code never touches
                                 function-mutated module-level state
 REPRO014  service-discipline    service/CLI code reaches engines only
                                 through the workload registry
+REPRO015  streaming-state-discipline  chunked streaming processors
+                                define reset() and re-initialize every
+                                carry-over attribute in it
 ========  ====================  ==========================================
 
 REPRO011-013 are *semantic* rules: they share one whole-program model
@@ -47,6 +50,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     service,
     shardsafety,
     signature,
+    streamstate,
     taintflow,
     units,
 )

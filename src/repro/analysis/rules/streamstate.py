@@ -1,0 +1,154 @@
+"""REPRO015 — streaming-state discipline.
+
+A streaming processor (a class that accepts data in chunks via
+``push``/``process`` and ends a capture with ``flush``) carries state
+between chunks by construction.  The chunk-invariance contract of
+:mod:`repro.phy.lora.streaming` — any chunking produces bit-identical
+output — only holds if that carry-over state is *explicit* and fully
+re-initialized by ``reset()``, so one instance can be reused across
+captures without a stale scalar leaking a decision from the previous
+stream.
+
+Two checks, both static:
+
+* a class defining a chunk-feed method and ``flush`` must also define
+  ``reset``;
+* every instance attribute the class mutates outside ``__init__`` and
+  ``reset`` (the carry-over state) must be re-initialized by ``reset``,
+  directly or through a same-class helper it calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+_FEED_METHODS = frozenset({"push", "process"})
+
+_HINT = ("carry-over state must be explicit: re-initialize every "
+         "streamed attribute in reset() (directly or via a helper) so "
+         "a reused instance cannot leak decisions across captures")
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """The attribute name for a ``self.<attr>`` store target, if any.
+
+    Subscript stores (``self._carry[:] = 0``) count: they re-initialize
+    the attribute's contents, which is what the discipline requires.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _store_targets(node: ast.AST) -> Iterator[ast.AST]:
+    """Flatten assignment targets, unpacking tuples/lists."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _store_targets(element)
+    else:
+        yield node
+
+
+def _assigned_attrs(func: ast.AST) -> dict[str, int]:
+    """Map each ``self.<attr>`` a method stores to its first line."""
+    attrs: dict[str, int] = {}
+    for node in ast.walk(func):
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                targets.extend(_store_targets(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets.append(node.target)
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is not None and attr not in attrs:
+                attrs[attr] = node.lineno
+    return attrs
+
+
+def _self_calls(func: ast.AST) -> set[str]:
+    """Names of same-instance methods a method calls (``self.m(...)``)."""
+    calls: set[str] = set()
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"):
+            calls.add(node.func.attr)
+    return calls
+
+
+def _reset_closure(methods: dict[str, ast.AST]) -> set[str]:
+    """Methods reachable from ``reset`` through same-class calls."""
+    closure: set[str] = set()
+    frontier = ["reset"]
+    while frontier:
+        name = frontier.pop()
+        if name in closure or name not in methods:
+            continue
+        closure.add(name)
+        frontier.extend(_self_calls(methods[name]))
+    return closure
+
+
+@register
+class StreamingStateRule(FileRule):
+    """Streaming classes reset every attribute they carry across chunks."""
+
+    rule_id = "REPRO015"
+    name = "streaming-state-discipline"
+    description = ("streaming processors (push/process + flush) must "
+                   "define reset() and re-initialize all carry-over "
+                   "state in it")
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext,
+                     node: ast.ClassDef) -> Iterator[Finding]:
+        methods = {item.name: item for item in node.body
+                   if isinstance(item, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))}
+        if "flush" not in methods or not (_FEED_METHODS & set(methods)):
+            return
+        if "reset" not in methods:
+            yield self._finding(
+                ctx, node,
+                f"streaming class '{node.name}' accepts chunks but "
+                f"defines no reset()")
+            return
+        covered = set()
+        for name in _reset_closure(methods):
+            covered.update(_assigned_attrs(methods[name]))
+        exempt = _reset_closure(methods) | {"__init__"}
+        leaks: dict[str, int] = {}
+        for name, method in methods.items():
+            if name in exempt:
+                continue
+            for attr, line in _assigned_attrs(method).items():
+                if attr not in covered and (attr not in leaks
+                                            or line < leaks[attr]):
+                    leaks[attr] = line
+        for attr, line in sorted(leaks.items(), key=lambda kv: kv[1]):
+            yield self._finding(
+                ctx, node,
+                f"'{node.name}' mutates carry-over attribute "
+                f"'self.{attr}' during streaming but reset() never "
+                f"re-initializes it", line=line)
+
+    def _finding(self, ctx: FileContext, node: ast.AST, message: str,
+                 line: int | None = None) -> Finding:
+        return Finding(rule_id=self.rule_id, path=ctx.relpath,
+                       line=node.lineno if line is None else line,
+                       col=node.col_offset, message=message, hint=_HINT)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.perf.cache import get_or_build
+from repro.phy.backend.registry import get_backend
 
 
 def is_power_of_two(n: int) -> bool:
@@ -39,27 +40,63 @@ def bit_reverse_indices(n: int) -> np.ndarray:
     return reversed_
 
 
+def _build_fft_plan(length: int) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+    """Build the ``(permutation, stage_twiddles)`` plan for one length.
+
+    The per-stage twiddle arrays are *sliced from the master table*
+    (``exp(-2j*pi*k/length)``), never recomputed per stage, so their
+    values are bit-identical to the historical per-call
+    ``twiddles[::stride][:half]`` slices the butterfly loop used.
+    """
+    permutation = bit_reverse_indices(length)
+    master = np.exp(-2j * np.pi * np.arange(max(length // 2, 1)) / length)
+    stages = []
+    half = 1
+    while half < length:
+        span = half * 2
+        stride = length // span
+        stages.append(master[::stride][:half].copy())
+        half = span
+    return permutation, tuple(stages)
+
+
 class Radix2Fft:
     """Iterative radix-2 DIT FFT with precomputed twiddle factors.
 
     Instances cache twiddles for one transform length, the way an FPGA core
     is configured for a fixed size; the demodulator keeps one per LoRa
-    spreading factor.
+    spreading factor.  The butterfly kernel itself is dispatched through
+    the DSP backend registry (:mod:`repro.phy.backend`) selected at
+    construction time.
+
+    Args:
+        length: transform size (power of two).
+        backend: DSP backend name (``None`` consults the
+            ``REPRO_DSP_BACKEND`` environment variable, defaulting to the
+            pure-NumPy backend).
     """
 
-    def __init__(self, length: int) -> None:
+    def __init__(self, length: int, backend: str | None = None) -> None:
         if not is_power_of_two(length):
             raise ConfigurationError(
                 f"FFT length must be a power of two, got {length}")
         self.length = length
-        self._stages = length.bit_length() - 1
-        # The bit-reverse permutation and twiddle table are the FFT
-        # "plan"; every instance of the same length shares one frozen
-        # copy through the plan cache instead of recomputing it.
-        self._permutation, self._twiddles = get_or_build(
-            ("fft_plan", length),
-            lambda: (bit_reverse_indices(length),
-                     np.exp(-2j * np.pi * np.arange(length // 2) / length)))
+        # The bit-reverse permutation and per-stage twiddle tables are
+        # the FFT "plan"; every instance of the same length shares one
+        # frozen copy through the plan cache instead of recomputing it.
+        self._permutation, self._stage_twiddles = get_or_build(
+            ("fft_plan", length), lambda: _build_fft_plan(length))
+        self._backend = get_backend(backend)
+
+    @property
+    def plan(self) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+        """The frozen ``(permutation, stage_twiddles)`` plan pair."""
+        return self._permutation, self._stage_twiddles
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the DSP backend executing the butterflies."""
+        return self._backend.name
 
     def forward(self, samples: np.ndarray) -> np.ndarray:
         """Compute the forward DFT of ``samples``.
@@ -72,28 +109,18 @@ class Radix2Fft:
         if samples.size != self.length:
             raise ConfigurationError(
                 f"expected {self.length} samples, got {samples.size}")
-        data = samples[self._permutation].copy()
-        half = 1
-        for _ in range(self._stages):
-            span = half * 2
-            stride = self.length // span
-            twiddle = self._twiddles[::stride][:half]
-            blocks = data.reshape(-1, span)
-            even = blocks[:, :half].copy()
-            odd = blocks[:, half:] * twiddle
-            blocks[:, :half] = even + odd
-            blocks[:, half:] = even - odd
-            half = span
-        return data
+        return self._backend.fft_block(self._permutation,
+                                       self._stage_twiddles,
+                                       samples.reshape(1, -1))[0]
 
     def forward_block(self, blocks: np.ndarray) -> np.ndarray:
         """Compute the forward DFT of each row of a ``(count, length)`` matrix.
 
         Runs the same butterfly schedule as :meth:`forward` across all
         rows at once, so each row's result is bit-exact with a
-        per-row :meth:`forward` call while amortizing the Python-level
-        stage loop over the whole batch (the LoRa demodulator feeds one
-        row per received symbol).
+        per-row :meth:`forward` call while amortizing the stage loop
+        over the whole batch (the LoRa demodulator feeds one row per
+        received symbol).
 
         Raises:
             ConfigurationError: if the input is not a 2-D array with
@@ -104,19 +131,8 @@ class Radix2Fft:
             raise ConfigurationError(
                 f"expected a (count, {self.length}) matrix, got shape "
                 f"{blocks.shape}")
-        data = blocks[:, self._permutation].copy()
-        half = 1
-        for _ in range(self._stages):
-            span = half * 2
-            stride = self.length // span
-            twiddle = self._twiddles[::stride][:half]
-            shaped = data.reshape(data.shape[0], -1, span)
-            even = shaped[:, :, :half].copy()
-            odd = shaped[:, :, half:] * twiddle
-            shaped[:, :, :half] = even + odd
-            shaped[:, :, half:] = even - odd
-            half = span
-        return data
+        return self._backend.fft_block(self._permutation,
+                                       self._stage_twiddles, blocks)
 
     def inverse(self, spectrum: np.ndarray) -> np.ndarray:
         """Compute the inverse DFT (normalized by ``1/N``)."""

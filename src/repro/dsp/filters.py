@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.phy.backend.registry import get_backend
 
 
 def design_lowpass(num_taps: int, cutoff_hz: float, sample_rate_hz: float,
@@ -60,36 +61,59 @@ def _window(name: str, length: int) -> np.ndarray:
     raise ConfigurationError(f"unknown window {name!r}")
 
 
-def filter_block(taps: np.ndarray, samples: np.ndarray) -> np.ndarray:
+def filter_block(taps: np.ndarray, samples: np.ndarray,
+                 backend: str | None = None) -> np.ndarray:
     """Filter one block of samples, returning the same-length aligned output.
 
     The output is delayed by the filter's group delay and truncated to the
     input length, so a caller can filter a buffered packet without having to
     track alignment (this is what the demodulator does with the FIFO
-    contents).
+    contents).  Evaluation runs on the selected DSP backend; every
+    backend produces bit-identical output (tap-major accumulation, see
+    :mod:`repro.phy.backend`).
     """
     taps = np.asarray(taps, dtype=np.float64)
     samples = np.asarray(samples)
     if samples.size == 0:
         return samples.copy()
-    full = np.convolve(samples, taps)
+    return get_backend(backend).fir_aligned(taps, samples)
+
+
+def filter_block_reference(taps: np.ndarray,
+                           samples: np.ndarray) -> np.ndarray:
+    """Scalar twin of :func:`filter_block` (tap-major accumulation order)."""
+    taps = np.asarray(taps, dtype=np.float64)
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        return samples.copy()
     delay = (taps.size - 1) // 2
-    return full[delay:delay + samples.size]
+    out = np.empty(samples.size, dtype=np.complex128)
+    for i in range(samples.size):
+        acc = 0.0 + 0.0j
+        for k in range(taps.size):
+            m = i + delay - k
+            if 0 <= m < samples.size:
+                acc = acc + taps[k] * complex(samples[m])
+        out[i] = acc
+    return out
 
 
 class StreamingFir:
     """FIR filter that preserves its delay line across calls.
 
     Mirrors the FPGA pipeline, where samples stream through the filter
-    continuously rather than in isolated blocks.
+    continuously rather than in isolated blocks.  The per-chunk kernel
+    runs on the selected DSP backend; any chunking of the input yields
+    the bit-exact whole-stream convolution.
     """
 
-    def __init__(self, taps: np.ndarray) -> None:
+    def __init__(self, taps: np.ndarray, backend: str | None = None) -> None:
         taps = np.asarray(taps, dtype=np.float64)
         if taps.size < 1:
             raise ConfigurationError("filter needs at least 1 tap")
         self._taps = taps
         self._state = np.zeros(taps.size - 1, dtype=np.complex128)
+        self._backend = get_backend(backend)
 
     @property
     def taps(self) -> np.ndarray:
@@ -105,9 +129,9 @@ class StreamingFir:
         samples = np.asarray(samples, dtype=np.complex128)
         if samples.size == 0:
             return samples.copy()
-        extended = np.concatenate([self._state, samples])
-        output = np.convolve(extended, self._taps, mode="valid")
+        output = self._backend.fir_carry(self._taps, self._state, samples)
         if self._state.size:
+            extended = np.concatenate([self._state, samples])
             self._state = extended[-self._state.size:].copy()
         return output
 

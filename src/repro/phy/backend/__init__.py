@@ -1,0 +1,35 @@
+"""Multi-backend DSP engine: registry of bit-parity kernel sets.
+
+``repro.phy.backend`` decouples *what* the PHY chains compute from *how*
+fast it runs: every sample-level hot kernel (radix-2 FFT, FIR, LoRa
+dechirp-fold, BLE discriminator, O-QPSK matched filter) is dispatched
+through a :class:`DspBackend` selected at plan-build time.  The
+pure-NumPy backend is the always-available default and parity anchor;
+the numba backend registers itself only when numba is importable and
+falls back automatically otherwise.  All backends must be bit-identical
+— enforced by the golden-vector conformance suite.
+"""
+
+from repro.phy.backend.base import DspBackend
+from repro.phy.backend.numpy_backend import NumpyBackend
+from repro.phy.backend.registry import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "DspBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend_name",
+]

@@ -1,0 +1,94 @@
+"""DSP backend kernel contract.
+
+A :class:`DspBackend` bundles the sample-level kernels every PHY chain
+runs on: the batched radix-2 FFT, the FIR evaluation (block-aligned and
+streaming carry forms), the LoRa dechirp-fold kernel, the BLE quadrature
+discriminator and the O-QPSK matched filter.  Backends are registered in
+:mod:`repro.phy.backend.registry` and selected at plan-build time; the
+pure-NumPy backend is always present and is the bit-exactness anchor.
+
+**Parity contract.**  Every kernel must be *bit-exact* against the
+NumPy backend (and therefore against the retained ``*_reference``
+scalar twins those kernels were verified against): same float64 /
+complex128 results, last bit included, for any input and any batch
+split.  The golden-vector conformance suite
+(``tests/fixtures/phy_golden`` + ``tests/test_phy_golden.py``) enforces
+this for every registered backend, so a backend that cannot honour the
+contract must not register itself.
+
+Kernels receive FFT plans as the ``(permutation, stage_twiddles)``
+pair built by :class:`repro.dsp.fft.Radix2Fft` — ``permutation`` is the
+bit-reverse index array and ``stage_twiddles`` one frozen twiddle array
+per butterfly stage, sliced from the master twiddle table so stage
+values are bit-identical to the historical per-call slices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DspBackend:
+    """Abstract kernel set; see module docstring for the parity contract."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    # -- FFT ----------------------------------------------------------------
+
+    def fft_block(self, permutation: np.ndarray,
+                  stage_twiddles: tuple[np.ndarray, ...],
+                  blocks: np.ndarray) -> np.ndarray:
+        """Radix-2 DIT forward FFT of each row of a ``(count, n)`` matrix."""
+        raise NotImplementedError
+
+    # -- FIR ----------------------------------------------------------------
+
+    def fir_aligned(self, taps: np.ndarray,
+                    samples: np.ndarray) -> np.ndarray:
+        """Group-delay-aligned FIR over one block (same output length)."""
+        raise NotImplementedError
+
+    def fir_carry(self, taps: np.ndarray, carry: np.ndarray,
+                  chunk: np.ndarray) -> np.ndarray:
+        """Streaming FIR step: ``len(chunk)`` new running-convolution outputs.
+
+        ``carry`` holds the previous ``taps.size - 1`` input samples
+        (zeros at stream start); output ``j`` is
+        ``sum_k taps[k] * x[prev + j - k]`` over the concatenated input
+        history — exactly the next slice of the whole-stream convolution.
+        """
+        raise NotImplementedError
+
+    # -- LoRa ---------------------------------------------------------------
+
+    def dechirp_magnitudes(self, windows: np.ndarray,
+                           reference: np.ndarray,
+                           permutation: np.ndarray,
+                           stage_twiddles: tuple[np.ndarray, ...],
+                           n_bins: int, oversampling: int) -> np.ndarray:
+        """Dechirp + FFT + magnitude fold of a ``(count, sym)`` matrix.
+
+        Multiplies each window by the conjugate-chirp ``reference``,
+        transforms every row, takes magnitudes and folds the oversampled
+        spectrum onto the ``n_bins`` symbol alphabet.
+        """
+        raise NotImplementedError
+
+    # -- BLE ----------------------------------------------------------------
+
+    def discriminate(self, samples: np.ndarray) -> np.ndarray:
+        """Per-sample phase increments ``angle(x[1:] * conj(x[:-1]))``."""
+        raise NotImplementedError
+
+    def integrate_bits(self, freq: np.ndarray, start: int,
+                       num_bits: int, sps: int) -> np.ndarray:
+        """Integrate-and-dump symbol metrics over ``sps``-sample windows."""
+        raise NotImplementedError
+
+    # -- O-QPSK -------------------------------------------------------------
+
+    def matched_filter(self, samples: np.ndarray,
+                       taps: np.ndarray) -> np.ndarray:
+        """Full-mode real convolution (the half-sine matched filter)."""
+        raise NotImplementedError

@@ -1,0 +1,146 @@
+"""Optional numba-compiled DSP backend.
+
+Registered only when :mod:`numba` is importable; environments without it
+(the common case — numba is an optional extra, never a hard dependency)
+fall back to the NumPy backend automatically via the registry.
+
+**Which kernels are compiled.**  Only kernels whose arithmetic order a
+scalar loop can provably reproduce are JIT-compiled: the FIR family
+(tap-major accumulation, real-tap × complex-sample products), bit
+integration (sequential accumulation) and the real matched filter.  The
+complex-multiply-bound kernels (``fft_block``, ``dechirp_magnitudes``,
+``discriminate``) are *inherited* from the NumPy backend on purpose:
+NumPy's SIMD loops for complex multiply / ``abs`` / ``arctan2`` round
+differently from naive scalar recomputation (FMA contraction, vendor
+math), so a scalar mirror cannot honour the bit-parity contract there.
+Sharing the vectorized kernels keeps every backend bit-identical by
+construction while still accelerating the front-end hot loops.
+
+``nopython`` compilation happens lazily on first kernel call, so merely
+importing this module (or registering the backend) costs nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.backend.numpy_backend import NumpyBackend
+
+try:
+    import numba
+except ImportError:  # pragma: no cover - exercised in the numba-less CI leg
+    numba = None
+
+HAVE_NUMBA = numba is not None
+
+_JITTED: dict[str, object] = {}
+
+
+def _jit(name: str, source_fn):
+    """Compile ``source_fn`` with numba once, memoizing per kernel name."""
+    fn = _JITTED.get(name)
+    if fn is None:
+        fn = numba.njit(cache=True, fastmath=False)(source_fn)
+        _JITTED[name] = fn
+    return fn
+
+
+# The uncompiled sources below are parity-tested directly (no numba
+# needed) against the NumPy backend; ``fastmath=False`` compilation
+# preserves their IEEE evaluation order.
+
+def _fir_valid_py(taps, extended):
+    """Valid-mode FIR, tap-major accumulation (k ascending per output)."""
+    num_taps = taps.size
+    n = extended.size - num_taps + 1
+    out = np.empty(n, dtype=np.complex128)
+    for i in range(n):
+        acc = 0.0 + 0.0j
+        for k in range(num_taps):
+            acc = acc + taps[k] * extended[i + num_taps - 1 - k]
+        out[i] = acc
+    return out
+
+
+def _matched_filter_py(samples, taps):
+    """Full-mode real convolution, tap-major accumulation per output."""
+    num_taps = taps.size
+    n = samples.size + num_taps - 1
+    out = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        acc = 0.0
+        for k in range(num_taps):
+            m = i - k
+            if 0 <= m < samples.size:
+                acc = acc + taps[k] * samples[m]
+        out[i] = acc
+    return out
+
+
+def _integrate_bits_py(freq, start, num_bits, sps):
+    """Integrate-and-dump, sequential accumulation per bit window.
+
+    The final window may be truncated (the discriminator output is one
+    sample shorter than its input stream); missing samples contribute
+    nothing, matching the NumPy backend's ragged-tail handling.
+    """
+    out = np.empty(num_bits, dtype=np.float64)
+    for i in range(num_bits):
+        begin = start + i * sps
+        end = min(begin + sps, freq.size)
+        if begin >= end:
+            out[i] = 0.0
+            continue
+        acc = freq[begin]
+        for j in range(begin + 1, end):
+            acc = acc + freq[j]
+        out[i] = acc
+    return out
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT-accelerated FIR/integration kernels; vectorized complex kernels
+    are shared with the NumPy backend (see module docstring)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            raise RuntimeError(
+                "numba is not importable; the registry should have fallen "
+                "back to the numpy backend")
+
+    def fir_aligned(self, taps: np.ndarray,
+                    samples: np.ndarray) -> np.ndarray:
+        if samples.size == 0:
+            return np.zeros(0, dtype=np.complex128)
+        kernel = _jit("fir_valid", _fir_valid_py)
+        taps = np.ascontiguousarray(taps, dtype=np.float64)
+        delay = (taps.size - 1) // 2
+        extended = np.concatenate([
+            np.zeros(taps.size - 1, dtype=np.complex128),
+            np.ascontiguousarray(samples, dtype=np.complex128),
+            np.zeros(taps.size - 1 - delay, dtype=np.complex128)])
+        return kernel(taps, extended)[delay:delay + samples.size]
+
+    def fir_carry(self, taps: np.ndarray, carry: np.ndarray,
+                  chunk: np.ndarray) -> np.ndarray:
+        if chunk.size == 0:
+            return np.zeros(0, dtype=np.complex128)
+        kernel = _jit("fir_valid", _fir_valid_py)
+        extended = np.concatenate([
+            np.ascontiguousarray(carry, dtype=np.complex128),
+            np.ascontiguousarray(chunk, dtype=np.complex128)])
+        return kernel(np.ascontiguousarray(taps, dtype=np.float64), extended)
+
+    def integrate_bits(self, freq: np.ndarray, start: int,
+                       num_bits: int, sps: int) -> np.ndarray:
+        kernel = _jit("integrate_bits", _integrate_bits_py)
+        return kernel(np.ascontiguousarray(freq, dtype=np.float64),
+                      start, num_bits, sps)
+
+    def matched_filter(self, samples: np.ndarray,
+                       taps: np.ndarray) -> np.ndarray:
+        kernel = _jit("matched_filter", _matched_filter_py)
+        return kernel(np.ascontiguousarray(samples, dtype=np.float64),
+                      np.ascontiguousarray(taps, dtype=np.float64))

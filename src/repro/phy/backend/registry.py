@@ -1,0 +1,109 @@
+"""DSP backend registry: named kernel sets selected at plan-build time.
+
+The registry maps backend names to factories.  Selection order:
+
+1. an explicit ``backend=`` argument on the modem/FFT constructor;
+2. the ``REPRO_DSP_BACKEND`` environment variable;
+3. the pure-NumPy default.
+
+``"auto"`` picks the fastest *available* backend (numba when importable,
+else numpy).  Requesting an unavailable-but-known backend (numba on a
+box without it) **falls back to numpy automatically** — the parity
+contract guarantees the results are bit-identical either way, so
+fallback is always safe; only an *unknown* name is an error.  Instances
+are built once per process behind the :mod:`repro.perf` plan cache, the
+same way FFT plans and chirp tables are shared across modems.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.phy.backend.base import DspBackend
+from repro.phy.backend.numba_backend import HAVE_NUMBA, NumbaBackend
+from repro.phy.backend.numpy_backend import NumpyBackend
+
+BACKEND_ENV_VAR = "REPRO_DSP_BACKEND"
+DEFAULT_BACKEND = "numpy"
+
+#: Preference order used by ``"auto"``: fastest available wins.
+_AUTO_ORDER = ("numba", "numpy")
+
+_FACTORIES: dict[str, Callable[[], DspBackend]] = {}
+_AVAILABLE: dict[str, bool] = {}
+_INSTANCES: dict[str, DspBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], DspBackend],
+                     available: bool = True) -> None:
+    """Register a backend factory (import-time only).
+
+    Raises:
+        ConfigurationError: on duplicate registration.
+    """
+    if name in _FACTORIES:
+        raise ConfigurationError(f"backend {name!r} is already registered")
+    _FACTORIES[name] = factory
+    _AVAILABLE[name] = available
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Every known backend name, available or not (sorted)."""
+    return tuple(sorted(_FACTORIES))
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends that can actually be instantiated here (sorted)."""
+    return tuple(sorted(n for n, ok in _AVAILABLE.items() if ok))
+
+
+def resolve_backend_name(requested: str | None = None) -> str:
+    """Resolve a backend request to an available backend name.
+
+    Args:
+        requested: explicit name, ``"auto"``, or ``None`` to consult
+            ``REPRO_DSP_BACKEND`` (falling back to the numpy default).
+
+    Raises:
+        ConfigurationError: for a name no backend module ever registered.
+    """
+    if requested is None:
+        requested = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    if requested == "auto":
+        for name in _AUTO_ORDER:
+            if _AVAILABLE.get(name):
+                return name
+        return DEFAULT_BACKEND
+    if requested not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown DSP backend {requested!r}; registered: "
+            f"{', '.join(registered_backends())}")
+    if not _AVAILABLE[requested]:
+        # Automatic fallback: the parity contract makes every backend
+        # bit-identical, so degrading to numpy never changes results.
+        return DEFAULT_BACKEND
+    return requested
+
+
+def get_backend(requested: str | None = None) -> DspBackend:
+    """Return the shared backend instance for a request.
+
+    Backend objects are stateless kernel sets, memoized process-wide so
+    every modem built for the same backend reuses one instance — and one
+    warmed JIT cache, for compiled backends.  (They deliberately do not
+    live in the :mod:`repro.perf` plan cache: constructing a modem must
+    cost exactly the plan lookups its *plans* need, and backends are
+    never evicted.)
+    """
+    name = resolve_backend_name(requested)
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _FACTORIES[name]()
+        _INSTANCES[name] = instance
+    return instance
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("numba", NumbaBackend, available=HAVE_NUMBA)

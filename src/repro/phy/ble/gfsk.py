@@ -22,6 +22,7 @@ from repro.dsp.filters import design_lowpass, filter_block
 from repro.dsp.nco import Nco, NcoConfig
 from repro.dsp.pulse import frequency_to_phase, shape_bits
 from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.backend.registry import get_backend
 
 BLE_BIT_RATE_BPS = 1_000_000
 BLE_MODULATION_INDEX = 0.5
@@ -112,10 +113,16 @@ class GfskDemodulator:
 
     Pipeline: channel-select FIR -> phase-difference discriminator ->
     integrate-and-dump over each symbol -> sign decision.
+
+    The discriminator and integrate-and-dump kernels are dispatched
+    through the DSP backend registry (:mod:`repro.phy.backend`); every
+    backend is bit-identical, so bit decisions never depend on the
+    backend choice.
     """
 
     def __init__(self, config: GfskConfig | None = None,
-                 filter_taps: int = 24) -> None:
+                 filter_taps: int = 24,
+                 backend: str | None = None) -> None:
         self.config = config or GfskConfig()
         cutoff = 0.6 * self.config.bit_rate_bps
         nyquist = self.config.sample_rate_hz / 2.0
@@ -123,6 +130,13 @@ class GfskDemodulator:
         if cutoff < nyquist * 0.95:
             self._taps = design_lowpass(filter_taps, cutoff,
                                         self.config.sample_rate_hz)
+        self._backend_request = backend
+        self._backend = get_backend(backend)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the DSP backend executing the hot kernels."""
+        return self._backend.name
 
     def instantaneous_frequency(self, samples: np.ndarray) -> np.ndarray:
         """Per-sample phase increments (radians/sample) after filtering."""
@@ -130,13 +144,16 @@ class GfskDemodulator:
         if samples.size < 2:
             raise DemodulationError("need at least 2 samples to discriminate")
         if self._taps is not None:
-            samples = filter_block(self._taps, samples)
-        rotation = samples[1:] * np.conj(samples[:-1])
-        return np.angle(rotation)
+            samples = filter_block(self._taps, samples,
+                                   backend=self._backend_request)
+        return self._backend.discriminate(samples)
 
     def demodulate(self, samples: np.ndarray, num_bits: int,
                    start_sample: int = 0) -> np.ndarray:
         """Recover ``num_bits`` symbol decisions from an aligned stream.
+
+        Bit-exact with :meth:`demodulate_reference` (sequential
+        in-symbol accumulation on every backend).
 
         Args:
             samples: complex baseband stream.
@@ -154,10 +171,30 @@ class GfskDemodulator:
                 f"stream of {samples.size} samples cannot supply {num_bits} "
                 f"bits from offset {start_sample}")
         freq = self.instantaneous_frequency(samples)
+        metrics = self._backend.integrate_bits(freq, start_sample,
+                                               num_bits, sps)
+        return (metrics > 0.0).astype(np.int64)
+
+    def demodulate_reference(self, samples: np.ndarray, num_bits: int,
+                             start_sample: int = 0) -> np.ndarray:
+        """One-bit-per-iteration scalar twin of :meth:`demodulate`."""
+        sps = self.config.samples_per_symbol
+        needed = start_sample + num_bits * sps
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.size < needed:
+            raise DemodulationError(
+                f"stream of {samples.size} samples cannot supply {num_bits} "
+                f"bits from offset {start_sample}")
+        freq = self.instantaneous_frequency(samples)
         bits = np.empty(num_bits, dtype=np.int64)
         for i in range(num_bits):
             begin = start_sample + i * sps
-            metric = float(np.sum(freq[begin:begin + sps]))
+            # The discriminator output is one sample shorter than the
+            # stream, so the final window may be truncated.
+            window = freq[begin:begin + sps]
+            metric = float(window[0]) if window.size else 0.0
+            for j in range(1, window.size):
+                metric = metric + window[j]
             bits[i] = 1 if metric > 0.0 else 0
         return bits
 

@@ -24,10 +24,12 @@ from repro.phy.lora.concurrent import (
 from repro.phy.lora.demodulator import (
     LoRaDemodulator,
     PacketSynchronizer,
+    ReceivedPacket,
     SymbolDecision,
     SymbolDemodulator,
 )
 from repro.phy.lora.modulator import LoRaModulator
+from repro.phy.lora.streaming import StreamingDemodulator
 from repro.phy.lora.packet import (
     LoRaFrame,
     SyncResult,
@@ -56,7 +58,9 @@ __all__ = [
     "PREAMBLE_SYMBOLS",
     "PacketSynchronizer",
     "QuantizedChirpGenerator",
+    "ReceivedPacket",
     "STANDARD_BANDWIDTHS_HZ",
+    "StreamingDemodulator",
     "SymbolDecision",
     "SymbolDemodulator",
     "SyncResult",

@@ -25,12 +25,16 @@ import numpy as np
 from repro.errors import CodingError
 from repro.phy.lora.coding import (
     deinterleave_block,
+    deinterleave_blocks,
     gray_decode_array,
     gray_encode_array,
     hamming_decode,
     hamming_decode_nibble,
+    hamming_decode_table,
     hamming_encode_nibble,
+    hamming_encode_table,
     interleave_block,
+    interleave_blocks,
     whiten,
 )
 from repro.phy.lora.params import LoRaParams
@@ -70,6 +74,38 @@ def _nibbles_to_bytes(nibbles: list[int]) -> bytes:
     return bytes(out)
 
 
+def _nibbles_to_bytes_array(nibbles: np.ndarray) -> bytes:
+    """Vectorized :func:`_nibbles_to_bytes`."""
+    pairs = nibbles.size // 2
+    low = nibbles[0:2 * pairs:2] & 0xF
+    high = nibbles[1:2 * pairs:2] & 0xF
+    return (low | (high << 4)).astype(np.uint8).tobytes()
+
+
+@dataclass(frozen=True)
+class LoRaHeader:
+    """Decoded explicit-header fields (the first 8 payload-section symbols).
+
+    Attributes:
+        payload_length: payload byte count announced by the transmitter.
+        coding_rate_denominator: payload-section coding rate (config
+            fallback when the header checksum failed).
+        crc_flag: whether a payload CRC follows (config fallback when the
+            header checksum failed).
+        header_ok: header checksum status.
+        fec_errors: Hamming errors detected inside the header block.
+        leading_nibbles: payload nibbles absorbed into the header block
+            (``SF - 7`` of them).
+    """
+
+    payload_length: int
+    coding_rate_denominator: int
+    crc_flag: bool
+    header_ok: bool
+    fec_errors: int
+    leading_nibbles: tuple[int, ...]
+
+
 @dataclass(frozen=True)
 class DecodedPayload:
     """Result of decoding a symbol stream.
@@ -101,7 +137,54 @@ class LoRaCodec:
     # -- encode ------------------------------------------------------------
 
     def encode(self, payload: bytes) -> np.ndarray:
-        """Encode payload bytes into an array of chirp symbol values."""
+        """Encode payload bytes into an array of chirp symbol values.
+
+        Vectorized fast path (Hamming lookup tables, batched diagonal
+        interleave, array Gray mapping); bit-exact with
+        :meth:`encode_reference`.
+        """
+        if len(payload) > MAX_PAYLOAD_BYTES:
+            raise CodingError(
+                f"payload exceeds {MAX_PAYLOAD_BYTES} bytes: {len(payload)}")
+        body = bytes(payload)
+        if self.crc:
+            crc = crc16_ccitt(body)
+            body += bytes((crc >> 8, crc & 0xFF))
+        body = whiten(body)
+        raw = np.frombuffer(body, dtype=np.uint8).astype(np.int64)
+        nibbles = np.empty(raw.size * 2, dtype=np.int64)
+        nibbles[0::2] = raw & 0xF
+        nibbles[1::2] = raw >> 4
+
+        pieces: list[np.ndarray] = []
+        if self.params.explicit_header:
+            header_ppm = self.params.spreading_factor - 2
+            absorb = header_ppm - HEADER_NIBBLES
+            block = np.concatenate([
+                np.asarray(self._header_nibbles(len(payload)),
+                           dtype=np.int64),
+                nibbles[:absorb]])
+            nibbles = nibbles[absorb:]
+            if block.size < header_ppm:
+                block = np.concatenate([
+                    block, np.zeros(header_ppm - block.size, dtype=np.int64)])
+            pieces.append(self._encode_blocks(
+                block.reshape(1, -1), header_ppm, HEADER_CR_DENOMINATOR))
+
+        ppm = self.params.payload_bits_per_symbol
+        cr = self.params.coding_rate_denominator
+        if nibbles.size:
+            count = -(-nibbles.size // ppm)
+            padded = np.zeros(count * ppm, dtype=np.int64)
+            padded[:nibbles.size] = nibbles
+            pieces.append(self._encode_blocks(
+                padded.reshape(count, ppm), ppm, cr))
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def encode_reference(self, payload: bytes) -> np.ndarray:
+        """One-block-at-a-time scalar twin of :meth:`encode`."""
         if len(payload) > MAX_PAYLOAD_BYTES:
             raise CodingError(
                 f"payload exceeds {MAX_PAYLOAD_BYTES} bytes: {len(payload)}")
@@ -147,6 +230,30 @@ class LoRaCodec:
         shift = self.params.spreading_factor - ppm
         return [int(v) << shift for v in values]
 
+    def _encode_blocks(self, nibbles: np.ndarray, ppm: int,
+                       cr_denominator: int) -> np.ndarray:
+        """Vectorized :meth:`_encode_block` over a ``(count, ppm)`` matrix."""
+        codewords = hamming_encode_table(cr_denominator)[nibbles]
+        interleaved = interleave_blocks(codewords, ppm, cr_denominator)
+        values = gray_decode_array(interleaved)
+        shift = self.params.spreading_factor - ppm
+        return (values << shift).reshape(-1)
+
+    def _decode_blocks(self, symbols: np.ndarray, ppm: int,
+                       cr_denominator: int) -> tuple[np.ndarray, int]:
+        """Vectorized :meth:`_decode_block` over a ``(count, cr)`` matrix.
+
+        Returns:
+            ``(nibbles, errors)`` where ``nibbles`` is a ``(count, ppm)``
+            matrix in block order.
+        """
+        shift = self.params.spreading_factor - ppm
+        values = symbols >> shift
+        interleaved = gray_encode_array(values)
+        codewords = deinterleave_blocks(interleaved, ppm, cr_denominator)
+        nibble_table, error_table = hamming_decode_table(cr_denominator)
+        return nibble_table[codewords], int(error_table[codewords].sum())
+
     # -- decode ------------------------------------------------------------
 
     def decode(self, symbols: np.ndarray,
@@ -164,6 +271,57 @@ class LoRaCodec:
             CodingError: when the stream is too short to contain the
                 expected header/payload structure.
         """
+        arr = np.asarray(symbols, dtype=np.int64).reshape(-1)
+        fec_errors = 0
+        header_ok = True
+        crc_flag = self.crc
+        cr = self.params.coding_rate_denominator
+        leading = np.empty(0, dtype=np.int64)
+
+        if self.params.explicit_header:
+            header = self.decode_header(arr)
+            fec_errors += header.fec_errors
+            header_ok = header.header_ok
+            payload_length = header.payload_length
+            leading = np.asarray(header.leading_nibbles, dtype=np.int64)
+            if header_ok:
+                cr = header.coding_rate_denominator
+                crc_flag = header.crc_flag
+            arr = arr[HEADER_CR_DENOMINATOR:]
+
+        ppm = self.params.payload_bits_per_symbol
+        count = arr.size // cr
+        if count:
+            block_nibbles, errs = self._decode_blocks(
+                arr[:count * cr].reshape(count, cr), ppm, cr)
+            fec_errors += errs
+            all_nibbles = np.concatenate([leading,
+                                          block_nibbles.reshape(-1)])
+        else:
+            all_nibbles = leading
+
+        body = whiten(_nibbles_to_bytes_array(all_nibbles))
+        if payload_length is None and not self.params.explicit_header:
+            payload_length = self._implicit_length(body, crc_flag)
+        total_length = (payload_length if payload_length is not None
+                        else len(body) - (2 if crc_flag else 0))
+        total_length = max(0, min(total_length, len(body)))
+
+        crc_ok: bool | None = None
+        payload = body[:total_length]
+        if crc_flag:
+            crc_bytes = body[total_length:total_length + 2]
+            if len(crc_bytes) < 2:
+                crc_ok = False
+            else:
+                received = (crc_bytes[0] << 8) | crc_bytes[1]
+                crc_ok = crc16_ccitt(payload) == received
+        return DecodedPayload(payload=payload, crc_ok=crc_ok,
+                              header_ok=header_ok, fec_errors=fec_errors)
+
+    def decode_reference(self, symbols: np.ndarray,
+                         payload_length: int | None = None) -> DecodedPayload:
+        """One-block-at-a-time scalar twin of :meth:`decode`."""
         symbols = list(np.asarray(symbols, dtype=np.int64))
         fec_errors = 0
         header_ok = True
@@ -218,6 +376,81 @@ class LoRaCodec:
                 crc_ok = crc16_ccitt(payload) == received
         return DecodedPayload(payload=payload, crc_ok=crc_ok,
                               header_ok=header_ok, fec_errors=fec_errors)
+
+    # -- header ------------------------------------------------------------
+
+    def decode_header(self, symbols: np.ndarray) -> LoRaHeader:
+        """Decode just the explicit-header block (first 8 symbols).
+
+        This is what the streaming demodulator uses to learn the packet
+        length before the rest of the payload has even arrived.
+
+        Raises:
+            CodingError: in implicit-header mode, or when fewer than 8
+                symbols are supplied.
+        """
+        if not self.params.explicit_header:
+            raise CodingError(
+                "implicit-header configuration carries no header block")
+        arr = np.asarray(symbols, dtype=np.int64).reshape(-1)
+        if arr.size < HEADER_CR_DENOMINATOR:
+            raise CodingError(
+                "symbol stream too short for an explicit header")
+        header_ppm = self.params.spreading_factor - 2
+        nibbles, errs = self._decode_blocks(
+            arr[:HEADER_CR_DENOMINATOR].reshape(1, -1),
+            header_ppm, HEADER_CR_DENOMINATOR)
+        nibbles = nibbles[0]
+        payload_length = int(nibbles[0]) | (int(nibbles[1]) << 4)
+        flags = int(nibbles[2])
+        checksum = int(nibbles[3]) | (int(nibbles[4]) << 4)
+        expected = (payload_length ^ (payload_length >> 4) ^ flags) & 0xFF
+        header_ok = checksum == expected
+        if header_ok:
+            cr = (flags & 0x7) + 4
+            crc_flag = bool(flags & 0x8)
+        else:
+            cr = self.params.coding_rate_denominator
+            crc_flag = self.crc
+        return LoRaHeader(
+            payload_length=payload_length,
+            coding_rate_denominator=cr,
+            crc_flag=crc_flag,
+            header_ok=header_ok,
+            fec_errors=errs,
+            leading_nibbles=tuple(
+                int(n) for n in nibbles[HEADER_NIBBLES:]))
+
+    def payload_section_symbols(self, payload_length: int,
+                                cr_denominator: int | None = None,
+                                crc: bool | None = None) -> int:
+        """Symbols that follow the header block for a given header.
+
+        Args:
+            payload_length: announced payload byte count.
+            cr_denominator: payload coding rate (defaults to the
+                configured rate; pass the header-decoded value).
+            crc: whether a payload CRC follows (defaults to the
+                configured flag; pass the header-decoded value).
+
+        Raises:
+            CodingError: for an out-of-range payload length or rate.
+        """
+        if payload_length < 0 or payload_length > MAX_PAYLOAD_BYTES:
+            raise CodingError(f"invalid payload length {payload_length}")
+        cr = (self.params.coding_rate_denominator if cr_denominator is None
+              else cr_denominator)
+        if not 5 <= cr <= 8:
+            raise CodingError(
+                f"coding rate denominator must be 5..8, got {cr}")
+        crc_flag = self.crc if crc is None else crc
+        total_nibbles = 2 * (payload_length + (2 if crc_flag else 0))
+        if self.params.explicit_header:
+            absorbed = (self.params.spreading_factor - 2) - HEADER_NIBBLES
+            total_nibbles = max(0, total_nibbles - absorbed)
+        ppm = self.params.payload_bits_per_symbol
+        blocks = -(-total_nibbles // ppm) if total_nibbles else 0
+        return blocks * cr
 
     @staticmethod
     def _implicit_length(body: bytes, crc_flag: bool) -> int:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CodingError
+from repro.perf.cache import get_or_build
 
 # ---------------------------------------------------------------------------
 # Gray mapping
@@ -96,8 +97,30 @@ def whitening_sequence(num_bytes: int, seed: int = _WHITENING_SEED) -> bytes:
     return bytes(out)
 
 
+_WHITENING_CACHE_BYTES = 512
+"""Prefix of the default whitening sequence kept in the plan cache
+(longest LoRa body is 255 payload + 2 CRC bytes)."""
+
+
 def whiten(data: bytes, seed: int = _WHITENING_SEED) -> bytes:
-    """XOR data with the whitening sequence (involutive: applies = removes)."""
+    """XOR data with the whitening sequence (involutive: applies = removes).
+
+    The default-seed sequence prefix is generated once and shared through
+    the plan cache; the XOR itself is vectorized.  Byte-identical to
+    :func:`whiten_reference`.
+    """
+    if seed != _WHITENING_SEED or len(data) > _WHITENING_CACHE_BYTES:
+        return whiten_reference(data, seed)
+    sequence = get_or_build(
+        ("whitening_seq", _WHITENING_CACHE_BYTES),
+        lambda: np.frombuffer(
+            whitening_sequence(_WHITENING_CACHE_BYTES), dtype=np.uint8))
+    raw = np.frombuffer(data, dtype=np.uint8)
+    return (raw ^ sequence[:raw.size]).tobytes()
+
+
+def whiten_reference(data: bytes, seed: int = _WHITENING_SEED) -> bytes:
+    """Scalar twin of :func:`whiten` (per-byte LFSR walk and XOR)."""
     sequence = whitening_sequence(len(data), seed)
     return bytes(d ^ s for d, s in zip(data, sequence))
 
@@ -215,6 +238,44 @@ def hamming_decode(codewords: list[int],
     return bytes(out), errors
 
 
+def hamming_encode_table(cr_denominator: int) -> np.ndarray:
+    """Frozen 16-entry nibble -> codeword table for one coding rate.
+
+    Built (once, via the plan cache) by running the scalar
+    :func:`hamming_encode_nibble` over every nibble, so table lookups are
+    exact by construction.
+    """
+    if not 5 <= cr_denominator <= 8:
+        raise CodingError(
+            f"coding rate denominator must be 5..8, got {cr_denominator}")
+    return get_or_build(
+        ("hamming_encode_lut", cr_denominator),
+        lambda: np.asarray(
+            [hamming_encode_nibble(n, cr_denominator) for n in range(16)],
+            dtype=np.int64))
+
+
+def hamming_decode_table(cr_denominator: int) -> tuple[np.ndarray, np.ndarray]:
+    """Frozen codeword -> ``(nibbles, errors)`` tables for one coding rate.
+
+    Indexing the pair with a codeword array vectorizes
+    :func:`hamming_decode_nibble` exactly (the tables are generated by
+    the scalar decoder itself).
+    """
+    if not 5 <= cr_denominator <= 8:
+        raise CodingError(
+            f"coding rate denominator must be 5..8, got {cr_denominator}")
+
+    def build() -> tuple[np.ndarray, np.ndarray]:
+        decoded = [hamming_decode_nibble(c, cr_denominator)
+                   for c in range(1 << cr_denominator)]
+        nibbles = np.asarray([n for n, _ in decoded], dtype=np.int64)
+        errors = np.asarray([e for _, e in decoded], dtype=np.int64)
+        return nibbles, errors
+
+    return get_or_build(("hamming_decode_lut", cr_denominator), build)
+
+
 # ---------------------------------------------------------------------------
 # Diagonal interleaver
 # ---------------------------------------------------------------------------
@@ -268,3 +329,61 @@ def deinterleave_block(symbols: list[int], ppm: int,
             bit = (symbols[j] >> i) & 1
             codewords[row] |= bit << j
     return codewords
+
+
+def _interleave_plan(ppm: int, cr_denominator: int
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Frozen gather-index matrices for the vectorized (de)interleaver.
+
+    ``rows[j, i] = (i + j) % ppm`` drives interleaving (symbol ``j``
+    takes bit ``j`` of codeword ``rows[j, i]`` into bit ``i``);
+    ``sources[r, j] = (r - j) % ppm`` drives deinterleaving (codeword
+    ``r`` takes bit ``sources[r, j]`` of symbol ``j`` into bit ``j``).
+    """
+    def build() -> tuple[np.ndarray, np.ndarray]:
+        i = np.arange(ppm, dtype=np.int64)
+        j = np.arange(cr_denominator, dtype=np.int64)
+        rows = (i[None, :] + j[:, None]) % ppm
+        sources = (np.arange(ppm, dtype=np.int64)[:, None] - j[None, :]) % ppm
+        return rows, sources
+
+    return get_or_build(("lora_interleave", ppm, cr_denominator), build)
+
+
+def interleave_blocks(codewords: np.ndarray, ppm: int,
+                      cr_denominator: int) -> np.ndarray:
+    """Vectorized :func:`interleave_block` over a ``(count, ppm)`` matrix.
+
+    Returns a ``(count, cr_denominator)`` symbol matrix; each row is
+    bit-identical to :func:`interleave_block` on that codeword block.
+    """
+    codewords = np.asarray(codewords, dtype=np.int64)
+    if codewords.ndim != 2 or codewords.shape[1] != ppm:
+        raise CodingError(
+            f"interleaver needs a (count, {ppm}) codeword matrix, got "
+            f"shape {codewords.shape}")
+    rows, _ = _interleave_plan(ppm, cr_denominator)
+    j = np.arange(cr_denominator, dtype=np.int64)
+    i = np.arange(ppm, dtype=np.int64)
+    # bits[b, j, i] = bit j of codeword rows[j, i] in block b.
+    bits = (codewords[:, rows] >> j[None, :, None]) & 1
+    return np.sum(bits << i[None, None, :], axis=2)
+
+
+def deinterleave_blocks(symbols: np.ndarray, ppm: int,
+                        cr_denominator: int) -> np.ndarray:
+    """Vectorized :func:`deinterleave_block` over a ``(count, cr)`` matrix.
+
+    Returns a ``(count, ppm)`` codeword matrix; each row is bit-identical
+    to :func:`deinterleave_block` on that symbol block.
+    """
+    symbols = np.asarray(symbols, dtype=np.int64)
+    if symbols.ndim != 2 or symbols.shape[1] != cr_denominator:
+        raise CodingError(
+            f"deinterleaver needs a (count, {cr_denominator}) symbol "
+            f"matrix, got shape {symbols.shape}")
+    _, sources = _interleave_plan(ppm, cr_denominator)
+    j = np.arange(cr_denominator, dtype=np.int64)
+    # bits[b, r, j] = bit sources[r, j] of symbol j in block b.
+    bits = (symbols[:, None, :] >> sources[None, :, :]) & 1
+    return np.sum(bits << j[None, None, :], axis=2)

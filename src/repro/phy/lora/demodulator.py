@@ -20,10 +20,15 @@ import numpy as np
 
 from repro.dsp.fft import Radix2Fft
 from repro.dsp.filters import design_lowpass, filter_block
-from repro.errors import DemodulationError
+from repro.errors import CodingError, DemodulationError
 from repro.perf.cache import get_or_build
+from repro.phy.backend.registry import get_backend
 from repro.phy.lora.chirp import ideal_chirp
-from repro.phy.lora.codec import DecodedPayload, LoRaCodec
+from repro.phy.lora.codec import (
+    HEADER_CR_DENOMINATOR,
+    DecodedPayload,
+    LoRaCodec,
+)
 from repro.phy.lora.packet import (
     SyncResult,
     sync_word_from_symbols,
@@ -35,6 +40,9 @@ FIR_TAPS = 14
 
 MIN_PREAMBLE_RUN = 6
 """Consecutive equal preamble bins required to declare detection."""
+
+HEADER_SYMBOLS = HEADER_CR_DENOMINATOR
+"""Symbols in the explicit header block (one CR=4/8 interleaver block)."""
 
 
 @dataclass(frozen=True)
@@ -53,9 +61,15 @@ class SymbolDecision:
 
 
 class SymbolDemodulator:
-    """Dechirp + FFT + peak detection for one LoRa configuration."""
+    """Dechirp + FFT + peak detection for one LoRa configuration.
 
-    def __init__(self, params: LoRaParams) -> None:
+    The dechirp-FFT-fold kernel is dispatched through the DSP backend
+    registry (:mod:`repro.phy.backend`); every registered backend is
+    bit-identical, so the choice never changes symbol decisions.
+    """
+
+    def __init__(self, params: LoRaParams,
+                 backend: str | None = None) -> None:
         self.params = params
         # The conjugate dechirp reference and base upchirp are shared
         # through the plan cache: every modem built for the same params
@@ -65,28 +79,26 @@ class SymbolDemodulator:
             ("lora_dechirp", params), lambda: np.conj(ideal_chirp(params, 0)))
         self._upchirp = get_or_build(
             ("lora_upchirp_ref", params), lambda: ideal_chirp(params, 0))
-        self._fft = Radix2Fft(params.samples_per_symbol)
+        self._fft = Radix2Fft(params.samples_per_symbol, backend=backend)
+        self._backend = get_backend(backend)
 
     @property
     def fft_length(self) -> int:
         """FFT size used per symbol (``2**SF * oversampling``)."""
         return self._fft.length
 
-    def _folded_magnitudes(self, dechirped: np.ndarray) -> np.ndarray:
-        """FFT magnitude folded onto the ``2**SF`` symbol bins.
+    @property
+    def backend_name(self) -> str:
+        """Name of the DSP backend executing the dechirp kernels."""
+        return self._backend.name
 
-        At oversampling ``os`` the two frequency segments of a shifted
-        chirp land in bins ``s`` and ``s + (os-1)*N``; summing those
-        magnitudes collapses the spectrum onto the symbol alphabet.
-        """
-        spectrum = np.abs(self._fft.forward(dechirped))
-        n = self.params.chips_per_symbol
-        os = self.params.oversampling
-        if os == 1:
-            return spectrum
-        folded = spectrum[:n].copy()
-        folded += spectrum[(os - 1) * n:(os - 1) * n + n]
-        return folded
+    def _mags(self, windows: np.ndarray,
+              reference: np.ndarray) -> np.ndarray:
+        """Dechirped, folded FFT magnitudes for a window matrix."""
+        permutation, stage_twiddles = self._fft.plan
+        return self._backend.dechirp_magnitudes(
+            windows, reference, permutation, stage_twiddles,
+            self.params.chips_per_symbol, self.params.oversampling)
 
     def demodulate(self, window: np.ndarray) -> SymbolDecision:
         """Demodulate one symbol-length window of samples.
@@ -99,8 +111,8 @@ class SymbolDemodulator:
             raise DemodulationError(
                 f"expected {self.params.samples_per_symbol} samples, "
                 f"got {window.size}")
-        up_mags = self._folded_magnitudes(window * self._downchirp)
-        down_mags = self._folded_magnitudes(window * self._upchirp)
+        up_mags = self._mags(window.reshape(1, -1), self._downchirp)[0]
+        down_mags = self._mags(window.reshape(1, -1), self._upchirp)[0]
         up_bin = int(np.argmax(up_mags))
         down_bin = int(np.argmax(down_mags))
         if up_mags[up_bin] >= down_mags[down_bin]:
@@ -118,7 +130,7 @@ class SymbolDemodulator:
             raise DemodulationError(
                 f"expected {self.params.samples_per_symbol} samples, "
                 f"got {window.size}")
-        mags = self._folded_magnitudes(window * self._downchirp)
+        mags = self._mags(window.reshape(1, -1), self._downchirp)[0]
         bin_index = int(np.argmax(mags))
         return bin_index, float(mags[bin_index])
 
@@ -129,20 +141,9 @@ class SymbolDemodulator:
             raise DemodulationError(
                 f"expected {self.params.samples_per_symbol} samples, "
                 f"got {window.size}")
-        mags = self._folded_magnitudes(window * self._upchirp)
+        mags = self._mags(window.reshape(1, -1), self._upchirp)[0]
         bin_index = int(np.argmax(mags))
         return bin_index, float(mags[bin_index])
-
-    def _folded_magnitudes_block(self, dechirped: np.ndarray) -> np.ndarray:
-        """Batched :meth:`_folded_magnitudes` over a symbol matrix."""
-        spectra = np.abs(self._fft.forward_block(dechirped))
-        n = self.params.chips_per_symbol
-        os = self.params.oversampling
-        if os == 1:
-            return spectra
-        folded = spectra[:, :n].copy()
-        folded += spectra[:, (os - 1) * n:(os - 1) * n + n]
-        return folded
 
     def demodulate_upchirp_block(self, windows: np.ndarray
                                  ) -> tuple[np.ndarray, np.ndarray]:
@@ -163,9 +164,42 @@ class SymbolDemodulator:
             raise DemodulationError(
                 f"expected a (count, {self.params.samples_per_symbol}) "
                 f"window matrix, got shape {windows.shape}")
-        mags = self._folded_magnitudes_block(windows * self._downchirp)
+        mags = self._mags(windows, self._downchirp)
         bins = np.argmax(mags, axis=1)
         return bins.astype(np.int64), mags[np.arange(mags.shape[0]), bins]
+
+    def demodulate_block(self, windows: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched chirp-type demodulation of a ``(count, sym)`` matrix.
+
+        Runs the up- and down-chirp comparisons for every row at once;
+        row ``k`` reproduces :meth:`demodulate` on that window bit for
+        bit.  This is the synchronizer's SFD-walk fast path.
+
+        Returns:
+            ``(values, magnitudes, is_upchirp)`` arrays of length
+            ``count``.
+
+        Raises:
+            DemodulationError: if the matrix width is not one symbol.
+        """
+        windows = np.asarray(windows, dtype=np.complex128)
+        if windows.ndim != 2 or \
+                windows.shape[1] != self.params.samples_per_symbol:
+            raise DemodulationError(
+                f"expected a (count, {self.params.samples_per_symbol}) "
+                f"window matrix, got shape {windows.shape}")
+        up_mags = self._mags(windows, self._downchirp)
+        down_mags = self._mags(windows, self._upchirp)
+        rows = np.arange(windows.shape[0])
+        up_bins = np.argmax(up_mags, axis=1)
+        down_bins = np.argmax(down_mags, axis=1)
+        up_peaks = up_mags[rows, up_bins]
+        down_peaks = down_mags[rows, down_bins]
+        is_up = up_peaks >= down_peaks
+        values = np.where(is_up, up_bins, down_bins).astype(np.int64)
+        magnitudes = np.where(is_up, up_peaks, down_peaks)
+        return values, magnitudes, is_up
 
     def demodulate_stream(self, samples: np.ndarray,
                           num_symbols: int,
@@ -182,7 +216,7 @@ class SymbolDemodulator:
         sym = self.params.samples_per_symbol
         end = start + num_symbols * sym
         samples = np.asarray(samples, dtype=np.complex128)
-        if end > samples.size:
+        if num_symbols < 0 or end > samples.size:
             raise DemodulationError(
                 f"stream of {samples.size} samples cannot hold {num_symbols} "
                 f"symbols from offset {start}")
@@ -199,7 +233,7 @@ class SymbolDemodulator:
         sym = self.params.samples_per_symbol
         end = start + num_symbols * sym
         samples = np.asarray(samples, dtype=np.complex128)
-        if end > samples.size:
+        if num_symbols < 0 or end > samples.size:
             raise DemodulationError(
                 f"stream of {samples.size} samples cannot hold {num_symbols} "
                 f"symbols from offset {start}")
@@ -228,9 +262,10 @@ class PacketSynchronizer:
        their combination isolates the integer-bin CFO.
     """
 
-    def __init__(self, params: LoRaParams) -> None:
+    def __init__(self, params: LoRaParams,
+                 backend: str | None = None) -> None:
         self.params = params
-        self.symbol_demod = SymbolDemodulator(params)
+        self.symbol_demod = SymbolDemodulator(params, backend=backend)
 
     def find_packet(self, samples: np.ndarray,
                     search_start: int = 0) -> SyncResult:
@@ -244,12 +279,12 @@ class PacketSynchronizer:
         n = self.params.chips_per_symbol
         os = self.params.oversampling
 
-        run_window, run_bin = self._find_preamble_run(samples, search_start)
+        run_position, run_bin = self._find_preamble_run(samples, search_start)
         # A window starting e samples after the packet's symbol grid sees
         # the repeated-upchirp peak at bin (w - p)/os mod N, so stepping
         # back by bin*os chips lands on a packet symbol boundary.
         offset_samples = (run_bin % n) * os
-        aligned = run_window * sym - offset_samples
+        aligned = run_position - offset_samples
         while aligned < 0:
             aligned += sym
 
@@ -277,7 +312,14 @@ class PacketSynchronizer:
 
     def _find_preamble_run(self, samples: np.ndarray,
                            search_start: int) -> tuple[int, int]:
-        """Scan for a run of constant upchirp bins; return (window, bin)."""
+        """Scan for a run of constant upchirp bins.
+
+        Returns:
+            ``(position, bin)`` where ``position`` is the *absolute
+            sample index* of the first window in the run (windows sit
+            on a symbol-rate grid anchored at ``search_start``, which
+            need not itself be symbol-aligned).
+        """
         sym = self.params.samples_per_symbol
         n = self.params.chips_per_symbol
         num_windows = (samples.size - search_start) // sym
@@ -289,9 +331,15 @@ class PacketSynchronizer:
         previous_bin = -1
         # Windows are demodulated in batched chunks (dechirp + FFT over
         # a whole matrix); the run bookkeeping below stays scalar so the
-        # scan can stop at the first qualifying run.
-        chunk_windows = 64
-        for chunk_start in range(0, num_windows, chunk_windows):
+        # scan can stop at the first qualifying run.  Chunks start small
+        # and grow geometrically: packets near the stream head (the
+        # common case) are found after one small batch instead of
+        # paying for a full 64-window transform up front.  Chunking
+        # never changes the result - decisions are per-window and the
+        # run state carries across chunk boundaries.
+        chunk_windows = 8
+        chunk_start = 0
+        while chunk_start < num_windows:
             count = min(chunk_windows, num_windows - chunk_start)
             begin = search_start + chunk_start * sym
             windows = samples[begin:begin + count * sym].reshape(count, sym)
@@ -307,42 +355,80 @@ class PacketSynchronizer:
                     run_length = 1
                 previous_bin = bin_index
                 if run_length >= MIN_PREAMBLE_RUN:
-                    return (search_start // sym + run_start, bin_index)
+                    return (search_start + run_start * sym, bin_index)
+            chunk_start += count
+            chunk_windows = min(chunk_windows * 2, 64)
         raise DemodulationError("no LoRa preamble found in stream")
 
     def _find_sfd(self, samples: np.ndarray,
                   aligned: int) -> tuple[int, int, int, int, float]:
-        """Walk aligned symbols until the first downchirp (SFD)."""
+        """Walk aligned symbols until the first downchirp (SFD).
+
+        Symbols are classified in batched chunks (one dechirp + FFT
+        matrix per chunk, both chirp types at once); the walk logic is
+        unchanged, so decisions match the one-symbol-at-a-time walk bit
+        for bit.
+        """
         sym = self.params.samples_per_symbol
         max_symbols = (samples.size - aligned) // sym
-        history: list[SymbolDecision] = []
+        history: list[int] = []
         magnitudes: list[float] = []
-        for k in range(max_symbols):
-            window = samples[aligned + k * sym:aligned + (k + 1) * sym]
-            decision = self.symbol_demod.demodulate(window)
-            if not decision.is_upchirp and k >= 3:
-                if len(history) < 2:
-                    raise DemodulationError(
-                        "SFD found without preceding sync symbols")
-                sync_high = history[-2].value
-                sync_low = history[-1].value
-                up_bin = int(np.median([d.value for d in history[:-2]])) \
-                    if len(history) > 2 else history[0].value
-                mean_mag = float(np.mean(magnitudes[:-2])) if len(
-                    magnitudes) > 2 else float(np.mean(magnitudes))
-                return k, sync_high, sync_low, up_bin, mean_mag
-            history.append(decision)
-            magnitudes.append(decision.magnitude)
+        chunk_symbols = 8
+        k = 0
+        while k < max_symbols:
+            count = min(chunk_symbols, max_symbols - k)
+            begin = aligned + k * sym
+            windows = samples[begin:begin + count * sym].reshape(count, sym)
+            values, mags, is_up = self.symbol_demod.demodulate_block(windows)
+            for local in range(count):
+                if not is_up[local] and (k + local) >= 3:
+                    if len(history) < 2:
+                        raise DemodulationError(
+                            "SFD found without preceding sync symbols")
+                    sync_high = history[-2]
+                    sync_low = history[-1]
+                    up_bin = int(np.median(history[:-2])) \
+                        if len(history) > 2 else history[0]
+                    mean_mag = float(np.mean(magnitudes[:-2])) if len(
+                        magnitudes) > 2 else float(np.mean(magnitudes))
+                    return k + local, sync_high, sync_low, up_bin, mean_mag
+                history.append(int(values[local]))
+                magnitudes.append(float(mags[local]))
+            k += count
         raise DemodulationError("no SFD (downchirp) found after preamble")
 
     def _estimate_cfo_bins(self, up_bin: int, down_bin: int) -> int:
         """Integer CFO from the up/down bin pair (both ~ cfo +- timing)."""
-        n = self.params.chips_per_symbol
+        return estimate_cfo_bins(self.params.chips_per_symbol,
+                                 up_bin, down_bin)
 
-        def signed(b: int) -> int:
-            return b - n if b > n // 2 else b
 
-        return (signed(up_bin) + signed(down_bin)) // 2
+@dataclass(frozen=True)
+class ReceivedPacket:
+    """One packet recovered by :meth:`LoRaDemodulator.receive_all`.
+
+    Attributes:
+        decoded: the codec output (payload bytes, CRC status, ...).
+        payload_start: sample index of the first payload symbol.
+        cfo_bins: integer carrier frequency offset estimate.
+        symbols: the raw demodulated payload symbol values.
+        sync_word: the packet's sync word.
+    """
+
+    decoded: DecodedPayload
+    payload_start: int
+    cfo_bins: int
+    symbols: tuple[int, ...]
+    sync_word: int
+
+
+def estimate_cfo_bins(n: int, up_bin: int, down_bin: int) -> int:
+    """Integer CFO from the up/down bin pair (both ~ cfo +- timing)."""
+
+    def signed(b: int) -> int:
+        return b - n if b > n // 2 else b
+
+    return (signed(up_bin) + signed(down_bin)) // 2
 
 
 class LoRaDemodulator:
@@ -355,14 +441,18 @@ class LoRaDemodulator:
             demodulator.  Defaults to on only when oversampling > 1 - at
             critical sampling the signal already occupies the whole band
             and the filter would bite into the outer bins.
+        backend: DSP backend name for the hot kernels (``None`` consults
+            ``REPRO_DSP_BACKEND``); all backends are bit-identical.
     """
 
     def __init__(self, params: LoRaParams, crc: bool = True,
-                 use_fir: bool | None = None) -> None:
+                 use_fir: bool | None = None,
+                 backend: str | None = None) -> None:
         self.params = params
         self.codec = LoRaCodec(params, crc=crc)
-        self.synchronizer = PacketSynchronizer(params)
+        self.synchronizer = PacketSynchronizer(params, backend=backend)
         self.symbol_demod = self.synchronizer.symbol_demod
+        self._backend_request = backend
         if use_fir is None:
             use_fir = params.oversampling > 1
         self._fir_taps = None
@@ -374,11 +464,17 @@ class LoRaDemodulator:
                     FIR_TAPS, cutoff_hz=cutoff_hz,
                     sample_rate_hz=params.sample_rate_hz))
 
+    @property
+    def backend_name(self) -> str:
+        """Name of the DSP backend executing the hot kernels."""
+        return self.symbol_demod.backend_name
+
     def frontend(self, samples: np.ndarray) -> np.ndarray:
         """Apply the receive FIR (identity when disabled)."""
         if self._fir_taps is None:
             return np.asarray(samples, dtype=np.complex128)
-        return filter_block(self._fir_taps, samples)
+        return filter_block(self._fir_taps, samples,
+                            backend=self._backend_request)
 
     def _derotate(self, samples: np.ndarray, cfo_bins: int) -> np.ndarray:
         """Remove an integer-bin CFO."""
@@ -389,6 +485,28 @@ class LoRaDemodulator:
         n = np.arange(samples.size)
         return samples * np.exp(
             -2j * np.pi * offset_hz / self.params.sample_rate_hz * n)
+
+    def _aligned_symbol_values(self, stream: np.ndarray, start: int,
+                               count: int, cfo_bins: int) -> np.ndarray:
+        """Demodulate ``count`` aligned payload symbols at ``start``.
+
+        Derotation uses *global* sample indices (``start + k``), so the
+        result is bit-identical to derotating the whole stream and then
+        slicing - ``exp``/complex multiply are elementwise, making the
+        slice-then-derotate order safe.  Only the packet's own samples
+        are touched, which keeps multi-packet scans linear in stream
+        length instead of quadratic.
+        """
+        sym = self.params.samples_per_symbol
+        window = stream[start:start + count * sym]
+        if cfo_bins != 0:
+            offset_hz = cfo_bins * self.params.bandwidth_hz / \
+                self.params.chips_per_symbol
+            idx = start + np.arange(window.size)
+            window = window * np.exp(
+                -2j * np.pi * offset_hz /
+                self.params.sample_rate_hz * idx)
+        return self.symbol_demod.demodulate_stream(window, count)
 
     def receive(self, samples: np.ndarray,
                 payload_symbols: int | None = None) -> DecodedPayload:
@@ -407,7 +525,7 @@ class LoRaDemodulator:
         sync = self.synchronizer.find_packet(filtered)
         stream = self._derotate(filtered, sync.cfo_bins)
         sym = self.params.samples_per_symbol
-        available = (stream.size - sync.payload_start) // sym
+        available = max(0, (stream.size - sync.payload_start) // sym)
         if payload_symbols is None:
             payload_symbols = available
         if payload_symbols > available:
@@ -417,6 +535,70 @@ class LoRaDemodulator:
         values = self.symbol_demod.demodulate_stream(
             stream, payload_symbols, start=sync.payload_start)
         return self.codec.decode(values)
+
+    def receive_all(self, samples: np.ndarray) -> list[ReceivedPacket]:
+        """Find and decode every packet in a sample stream.
+
+        The front-end FIR runs once over the whole stream; each packet
+        is then located, its explicit header decoded to learn the exact
+        payload symbol count, and only that packet's samples derotated
+        and demodulated.  A truncated final packet (header promises more
+        symbols than the stream holds) is never demodulated - partial
+        windows cannot shift earlier symbol decisions.
+
+        Requires explicit-header mode (the header carries the length).
+
+        Raises:
+            DemodulationError: in implicit-header mode.
+        """
+        if not self.params.explicit_header:
+            raise DemodulationError(
+                "receive_all requires explicit-header mode")
+        filtered = self.frontend(samples)
+        sym = self.params.samples_per_symbol
+        packets: list[ReceivedPacket] = []
+        search = 0
+        while True:
+            try:
+                sync = self.synchronizer.find_packet(filtered, search)
+            except DemodulationError:
+                break
+            start = sync.payload_start
+            available = max(0, (filtered.size - start) // sym)
+            if available < HEADER_SYMBOLS:
+                break
+            header_values = self._aligned_symbol_values(
+                filtered, start, HEADER_SYMBOLS, sync.cfo_bins)
+            header = self.codec.decode_header(header_values)
+            if not header.header_ok:
+                # Corrupt header: skip past it and keep scanning.
+                search = start + HEADER_SYMBOLS * sym
+                continue
+            try:
+                count = HEADER_SYMBOLS + self.codec.payload_section_symbols(
+                    header.payload_length,
+                    header.coding_rate_denominator,
+                    header.crc_flag)
+            except CodingError:
+                # A corrupt header whose checksum happens to validate can
+                # still announce an out-of-range coding rate; treat it
+                # like any other bad header.
+                search = start + HEADER_SYMBOLS * sym
+                continue
+            if count > available:
+                # Truncated tail packet: never demodulate partial
+                # symbols (they must not shift earlier decisions).
+                break
+            values = self._aligned_symbol_values(
+                filtered, start, count, sync.cfo_bins)
+            packets.append(ReceivedPacket(
+                decoded=self.codec.decode(values),
+                payload_start=start,
+                cfo_bins=sync.cfo_bins,
+                symbols=tuple(int(v) for v in values),
+                sync_word=sync.sync_word))
+            search = start + count * sym
+        return packets
 
     def receive_aligned_symbols(self, samples: np.ndarray,
                                 num_symbols: int) -> np.ndarray:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.backend.registry import get_backend
 from repro.phy.oqpsk.spreading import CHIP_RATE_HZ
 
 
@@ -68,9 +69,16 @@ class OqpskModulator:
 
 
 class OqpskDemodulator:
-    """Matched-filter O-QPSK receiver producing soft chips."""
+    """Matched-filter O-QPSK receiver producing soft chips.
 
-    def __init__(self, samples_per_chip: int = 2) -> None:
+    The matched-filter kernel is dispatched through the DSP backend
+    registry (:mod:`repro.phy.backend`) with tap-major accumulation, so
+    every backend (and :meth:`soft_chips_reference`) produces
+    bit-identical soft chips.
+    """
+
+    def __init__(self, samples_per_chip: int = 2,
+                 backend: str | None = None) -> None:
         if samples_per_chip < 2 or samples_per_chip % 2:
             raise ConfigurationError(
                 "need an even oversampling >= 2, got "
@@ -79,10 +87,27 @@ class OqpskDemodulator:
         n = np.arange(2 * samples_per_chip)
         pulse = np.sin(np.pi * (n + 0.5) / (2 * samples_per_chip))
         self._matched = pulse / np.sum(pulse ** 2)
+        self._backend = get_backend(backend)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the DSP backend executing the matched filter."""
+        return self._backend.name
+
+    def _chip_centers(self, num_chips: int, start_sample: int) -> np.ndarray:
+        """Sampling instants for each chip in the filtered rails."""
+        spc = self.samples_per_chip
+        delay = self._matched.size - 1
+        chips = np.arange(num_chips)
+        pair = chips // 2
+        return start_sample + pair * (2 * spc) + \
+            np.where(chips % 2 == 0, 0, spc) + delay
 
     def soft_chips(self, samples: np.ndarray, num_chips: int,
                    start_sample: int = 0) -> np.ndarray:
         """Recover ``num_chips`` soft chip values from an aligned stream.
+
+        Bit-exact with :meth:`soft_chips_reference`.
 
         Raises:
             DemodulationError: if the stream is too short.
@@ -95,10 +120,37 @@ class OqpskDemodulator:
             raise DemodulationError(
                 f"stream of {samples.size} samples cannot supply "
                 f"{num_chips} chips from offset {start_sample}")
-        i_filtered = np.convolve(samples.real, self._matched, mode="full")
-        q_filtered = np.convolve(samples.imag, self._matched, mode="full")
+        i_filtered = self._backend.matched_filter(
+            np.ascontiguousarray(samples.real), self._matched)
+        q_filtered = self._backend.matched_filter(
+            np.ascontiguousarray(samples.imag), self._matched)
         # The matched filter peaks one pulse-length after each chip start.
-        delay = self._matched.size - 1
+        centers = self._chip_centers(num_chips, start_sample)
+        soft = np.where(np.arange(num_chips) % 2 == 0,
+                        i_filtered[centers], q_filtered[centers])
+        return soft * np.sqrt(2.0)
+
+    def soft_chips_reference(self, samples: np.ndarray, num_chips: int,
+                             start_sample: int = 0) -> np.ndarray:
+        """Scalar twin of :meth:`soft_chips` (tap-major accumulation)."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        spc = self.samples_per_chip
+        pair_samples = 2 * spc
+        needed = start_sample + (num_chips // 2 + 1) * pair_samples
+        if samples.size < needed:
+            raise DemodulationError(
+                f"stream of {samples.size} samples cannot supply "
+                f"{num_chips} chips from offset {start_sample}")
+        taps = self._matched
+        rails = []
+        for rail in (samples.real, samples.imag):
+            out = np.zeros(rail.size + taps.size - 1, dtype=np.float64)
+            for k in range(taps.size):
+                for i in range(rail.size):
+                    out[k + i] += taps[k] * rail[i]
+            rails.append(out)
+        i_filtered, q_filtered = rails
+        delay = taps.size - 1
         soft = np.empty(num_chips)
         for chip in range(num_chips):
             pair = chip // 2

@@ -1,0 +1,33 @@
+"""Streaming processors with leaky carry-over state (REPRO015)."""
+
+
+class ChunkScanner:
+    def __init__(self):
+        self._carry = []
+        self._position = 0
+
+    def push(self, chunk):
+        self._carry = list(chunk)
+        self._position += len(chunk)
+        self._high_water = max(len(chunk), 1)
+        return []
+
+    def flush(self):
+        self._done = True
+        return []
+
+    def reset(self):
+        self._carry = []
+        self._position = 0
+
+
+class TailAccumulator:
+    def __init__(self):
+        self._total = 0
+
+    def process(self, chunk):
+        self._total = self._total + len(chunk)
+        return []
+
+    def flush(self):
+        return []

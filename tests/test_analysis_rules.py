@@ -1,4 +1,4 @@
-"""Golden-fixture tests for the fourteen reprolint rules.
+"""Golden-fixture tests for the fifteen reprolint rules.
 
 The fixtures under ``tests/fixtures/reprolint/`` form two miniature
 projects: ``bad`` contains one file per rule engineered to trip it at
@@ -77,6 +77,9 @@ EXPECTED_BAD = {
     ("REPRO014", "src/service_bad.py", 9),
     ("REPRO014", "src/service_bad.py", 13),
     ("REPRO014", "src/service_bad.py", 14),
+    ("REPRO015", "src/stream_bad.py", 12),
+    ("REPRO015", "src/stream_bad.py", 16),
+    ("REPRO015", "src/stream_bad.py", 24),
 }
 
 ALL_RULE_IDS = sorted({rule for rule, _, _ in EXPECTED_BAD})

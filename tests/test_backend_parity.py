@@ -1,0 +1,323 @@
+"""DSP backend registry behavior and bit-exact parity contracts.
+
+Every backend registered in :mod:`repro.phy.backend` must reproduce the
+NumPy anchor backend bit for bit, and every vectorized fast path must
+match its ``*_reference`` scalar twin exactly.  These tests exercise
+both directions: the registry (selection, fallback, memoization) and
+the kernel/codec parity pairs introduced with the backend split.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.dsp.filters import (
+    StreamingFir,
+    design_lowpass,
+    filter_block,
+    filter_block_reference,
+)
+from repro.phy.backend import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+)
+from repro.phy.backend import registry as backend_registry
+from repro.phy.backend.numba_backend import (
+    HAVE_NUMBA,
+    _fir_valid_py,
+    _integrate_bits_py,
+    _matched_filter_py,
+)
+from repro.phy.backend.numpy_backend import NumpyBackend, _fir_valid
+from repro.phy.ble.gfsk import GfskConfig, GfskDemodulator, GfskModulator
+from repro.phy.lora.coding import whiten, whiten_reference
+from repro.phy.lora.codec import LoRaCodec
+from repro.phy.lora.params import LoRaParams
+from repro.phy.oqpsk.modem import OqpskDemodulator, OqpskModulator
+
+
+def random_samples(seed: int, count: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.uniform(-0.95, 0.95, count)
+            + 1j * rng.uniform(-0.95, 0.95, count))
+
+
+class TestRegistry:
+    def test_numpy_backend_always_available(self):
+        assert "numpy" in registered_backends()
+        assert "numpy" in available_backends()
+        assert DEFAULT_BACKEND == "numpy"
+
+    def test_numba_backend_is_registered(self):
+        # Registered either way; available only when numba imports.
+        assert "numba" in registered_backends()
+        assert ("numba" in available_backends()) == HAVE_NUMBA
+
+    def test_default_resolution(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend_name() == DEFAULT_BACKEND
+        assert resolve_backend_name(None) == DEFAULT_BACKEND
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend_name() == "numpy"
+
+    def test_auto_prefers_fastest_available(self):
+        expected = "numba" if HAVE_NUMBA else "numpy"
+        assert resolve_backend_name("auto") == expected
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_backend_name("fpga")
+        with pytest.raises(ConfigurationError):
+            get_backend("fpga")
+
+    def test_unavailable_backend_falls_back(self):
+        if HAVE_NUMBA:
+            pytest.skip("numba importable; fallback leg covered in CI")
+        # Requesting the registered-but-unavailable numba backend must
+        # silently fall back to the default rather than erroring: code
+        # written against the compiled backend keeps working on
+        # machines without it.
+        assert resolve_backend_name("numba") == DEFAULT_BACKEND
+        assert get_backend("numba").name == "numpy"
+
+    def test_instances_are_memoized(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_backend("numpy", NumpyBackend)
+
+    def test_custom_backend_roundtrip(self, monkeypatch):
+        # Simulate a third-party registration without mutating the
+        # global tables permanently.
+        monkeypatch.setattr(backend_registry, "_FACTORIES",
+                            dict(backend_registry._FACTORIES))
+        monkeypatch.setattr(backend_registry, "_AVAILABLE",
+                            dict(backend_registry._AVAILABLE))
+        monkeypatch.setattr(backend_registry, "_INSTANCES",
+                            dict(backend_registry._INSTANCES))
+
+        class MirrorBackend(NumpyBackend):
+            name = "mirror"
+
+        register_backend("mirror", MirrorBackend)
+        assert "mirror" in registered_backends()
+        assert get_backend("mirror").name == "mirror"
+
+
+class TestFirParity:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), count=st.integers(1, 200),
+           num_taps=st.integers(1, 20))
+    def test_filter_block_matches_reference(self, seed, count, num_taps):
+        rng = np.random.default_rng(seed)
+        taps = rng.normal(size=num_taps)
+        samples = random_samples(seed ^ 0xA5, count)
+        fast = filter_block(taps, samples)
+        ref = filter_block_reference(taps, samples)
+        assert np.array_equal(fast, ref)
+
+    def test_empty_input(self):
+        taps = design_lowpass(14, 1000.0, 8000.0)
+        empty = np.zeros(0, dtype=np.complex128)
+        assert filter_block(taps, empty).size == 0
+        assert filter_block_reference(taps, empty).size == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), count=st.integers(1, 300),
+           num_taps=st.integers(2, 16))
+    def test_fir_valid_scalar_source_matches_numpy(self, seed, count,
+                                                   num_taps):
+        rng = np.random.default_rng(seed)
+        taps = rng.normal(size=num_taps)
+        extended = random_samples(seed ^ 0x5A, count + num_taps - 1)
+        assert np.array_equal(_fir_valid(taps, extended),
+                              _fir_valid_py(taps, extended))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), count=st.integers(20, 200))
+    def test_streaming_fir_matches_block(self, seed, count):
+        rng = np.random.default_rng(seed)
+        taps = design_lowpass(14, 1000.0, 8000.0)
+        samples = random_samples(seed ^ 0x33, count)
+        streaming = StreamingFir(taps)
+        split = int(rng.integers(0, count + 1))
+        chunked = np.concatenate([streaming.process(samples[:split]),
+                                  streaming.process(samples[split:])])
+        whole = StreamingFir(taps).process(samples)
+        assert np.array_equal(chunked, whole)
+
+
+class TestGfskParity:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), num_bits=st.integers(8, 120),
+           sps=st.integers(2, 8), start=st.integers(0, 6))
+    def test_demodulate_matches_reference(self, seed, num_bits, sps, start):
+        config = GfskConfig(samples_per_symbol=sps)
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, num_bits + 4)
+        wave = GfskModulator(config).modulate(bits)
+        wave = wave + (rng.normal(scale=0.05, size=wave.size)
+                       + 1j * rng.normal(scale=0.05, size=wave.size))
+        demod = GfskDemodulator(config)
+        fast = demod.demodulate(wave, num_bits, start_sample=start)
+        ref = demod.demodulate_reference(wave, num_bits, start_sample=start)
+        assert np.array_equal(fast, ref)
+
+    def test_truncated_final_window(self):
+        # The discriminator output is one sample shorter than the
+        # stream, so the last bit integrates a short window; fast and
+        # reference paths must clamp identically.
+        config = GfskConfig(samples_per_symbol=4)
+        rng = np.random.default_rng(11)
+        bits = rng.integers(0, 2, 32)
+        wave = GfskModulator(config).modulate(bits)
+        demod = GfskDemodulator(config)
+        fast = demod.demodulate(wave, 32)
+        ref = demod.demodulate_reference(wave, 32)
+        assert np.array_equal(fast, ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), num_bits=st.integers(1, 60),
+           sps=st.integers(2, 20), short=st.integers(0, 1))
+    def test_integrate_scalar_source_matches_numpy(self, seed, num_bits,
+                                                   sps, short):
+        rng = np.random.default_rng(seed)
+        freq = rng.normal(size=num_bits * sps - min(short, sps - 1))
+        backend = NumpyBackend()
+        assert np.array_equal(
+            backend.integrate_bits(freq, 0, num_bits, sps),
+            _integrate_bits_py(freq, 0, num_bits, sps))
+
+
+class TestOqpskParity:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), num_pairs=st.integers(4, 40),
+           spc=st.sampled_from([2, 4]))
+    def test_soft_chips_matches_reference(self, seed, num_pairs, spc):
+        rng = np.random.default_rng(seed)
+        chips = rng.integers(0, 2, 2 * num_pairs)
+        wave = OqpskModulator(samples_per_chip=spc).modulate(chips)
+        wave = wave + (rng.normal(scale=0.02, size=wave.size)
+                       + 1j * rng.normal(scale=0.02, size=wave.size))
+        demod = OqpskDemodulator(samples_per_chip=spc)
+        num_chips = 2 * num_pairs - 2
+        fast = demod.soft_chips(wave, num_chips)
+        ref = demod.soft_chips_reference(wave, num_chips)
+        assert np.array_equal(fast, ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), count=st.integers(1, 200),
+           num_taps=st.integers(1, 12))
+    def test_matched_filter_scalar_source_matches_numpy(self, seed, count,
+                                                        num_taps):
+        rng = np.random.default_rng(seed)
+        taps = rng.normal(size=num_taps)
+        samples = rng.normal(size=count)
+        backend = NumpyBackend()
+        assert np.array_equal(backend.matched_filter(samples, taps),
+                              _matched_filter_py(samples, taps))
+
+
+class TestCodecParity:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), sf=st.integers(7, 12),
+           cr=st.integers(5, 8), length=st.integers(0, 64),
+           explicit=st.booleans(), crc=st.booleans())
+    def test_encode_decode_match_reference(self, seed, sf, cr, length,
+                                           explicit, crc):
+        params = LoRaParams(spreading_factor=sf, bandwidth_hz=125e3,
+                            coding_rate_denominator=cr,
+                            explicit_header=explicit)
+        codec = LoRaCodec(params, crc=crc)
+        rng = np.random.default_rng(seed)
+        payload = bytes(rng.integers(0, 256, length).astype(np.uint8))
+        fast = codec.encode(payload)
+        ref = codec.encode_reference(payload)
+        assert np.array_equal(fast, ref)
+        kwargs = {} if explicit else {"payload_length": length}
+        decoded = codec.decode(fast, **kwargs)
+        decoded_ref = codec.decode_reference(fast, **kwargs)
+        assert decoded == decoded_ref
+        assert decoded.payload == payload
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), sf=st.integers(7, 10),
+           count=st.integers(8, 64))
+    def test_decode_matches_reference_on_noise_symbols(self, seed, sf,
+                                                       count):
+        # Random (not codec-produced) symbols must decode identically
+        # too - the receive path sees corrupted packets.
+        params = LoRaParams(spreading_factor=sf, bandwidth_hz=125e3)
+        codec = LoRaCodec(params, crc=True)
+        rng = np.random.default_rng(seed)
+        symbols = rng.integers(0, params.chips_per_symbol, count)
+        assert codec.decode(symbols) == codec.decode_reference(symbols)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), length=st.integers(0, 600))
+    def test_whiten_matches_reference(self, seed, length):
+        rng = np.random.default_rng(seed)
+        data = bytes(rng.integers(0, 256, length).astype(np.uint8))
+        assert whiten(data) == whiten_reference(data)
+        # Whitening is an involution in both implementations.
+        assert whiten(whiten(data)) == data
+
+    def test_whiten_custom_seed_matches_reference(self):
+        data = bytes(range(64))
+        assert whiten(data, seed=0x1D) == whiten_reference(data, seed=0x1D)
+
+
+class TestBackendEquivalence:
+    """Every available backend must agree with the NumPy anchor."""
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_lora_roundtrip_identical(self, name):
+        params = LoRaParams(spreading_factor=8, bandwidth_hz=125e3,
+                            oversampling=2)
+        from repro.phy.lora.modulator import LoRaModulator
+        from repro.phy.lora.demodulator import LoRaDemodulator
+        rng = np.random.default_rng(21)
+        payload = bytes(rng.integers(0, 256, 24).astype(np.uint8))
+        wave = LoRaModulator(params).modulate(payload)
+        stream = np.concatenate([np.zeros(1000, dtype=np.complex128), wave])
+        stream = stream + (rng.normal(scale=0.01, size=stream.size)
+                           + 1j * rng.normal(scale=0.01, size=stream.size))
+        anchor = LoRaDemodulator(params, backend="numpy").receive(stream)
+        other = LoRaDemodulator(params, backend=name).receive(stream)
+        assert anchor == other
+        assert anchor.payload == payload
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_gfsk_bits_identical(self, name):
+        config = GfskConfig()
+        rng = np.random.default_rng(22)
+        bits = rng.integers(0, 2, 160)
+        wave = GfskModulator(config).modulate(bits)
+        wave = wave + (rng.normal(scale=0.05, size=wave.size)
+                       + 1j * rng.normal(scale=0.05, size=wave.size))
+        anchor = GfskDemodulator(config, backend="numpy")
+        other = GfskDemodulator(config, backend=name)
+        assert np.array_equal(anchor.demodulate(wave, 150),
+                              other.demodulate(wave, 150))
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_oqpsk_soft_chips_identical(self, name):
+        rng = np.random.default_rng(23)
+        chips = rng.integers(0, 2, 64)
+        wave = OqpskModulator().modulate(chips)
+        wave = wave + (rng.normal(scale=0.02, size=wave.size)
+                       + 1j * rng.normal(scale=0.02, size=wave.size))
+        anchor = OqpskDemodulator(backend="numpy")
+        other = OqpskDemodulator(backend=name)
+        assert np.array_equal(anchor.soft_chips(wave, 60),
+                              other.soft_chips(wave, 60))
