@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint semantic chaos check golden-check service-smoke bench-hotpath bench-fleet bench-check bench-paper
+.PHONY: test lint semantic chaos chaos-service check golden-check service-smoke bench-hotpath bench-fleet bench-check bench-paper
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -13,6 +13,13 @@ test:
 # OTA pipeline, asserting the robustness invariants hold under each.
 chaos:
 	$(PYTHON) -m pytest -q tests/test_chaos_ota.py
+
+# Service-layer chaos: 25 seeded resilient sessions, each killed at a
+# seed-derived journal record boundary (with torn final writes) and
+# recovered; every seed must end all-terminal with the recovered
+# session's digest bit-identical to the uninterrupted golden run's.
+chaos-service:
+	REPRO_DETERMINISM=1 $(PYTHON) -m pytest -q tests/test_chaos_service.py
 
 # reprolint: the domain-aware static analyzer over src/ with the
 # committed baseline (see [tool.reprolint] in pyproject.toml).
@@ -31,9 +38,9 @@ service-smoke:
 	REPRO_DETERMINISM=1 $(PYTHON) examples/campaign_service.py
 
 # Full gate: static analysis (all rules plus a cold semantic pass), the
-# service determinism smoke and the perf-regression check, as CI would
-# run them.
-check: lint semantic golden-check service-smoke bench-check
+# service determinism smoke, the service chaos suite and the
+# perf-regression check, as CI would run them.
+check: lint semantic golden-check service-smoke chaos-service bench-check
 
 # PHY golden-vector drift gate: the committed conformance corpus
 # (tests/fixtures/phy_golden/) must match what the current modulators

@@ -78,7 +78,18 @@ from repro.phy.lora.chirp import chirp_train, ideal_chirp_reference
 from repro.phy.lora.demodulator import SymbolDemodulator
 from repro.dsp.fft import Radix2Fft
 from repro.radio import iqword, lvds
-from repro.service import CampaignService, JobSpec
+from repro.faults.service import (
+    ServiceFaultPlan,
+    WorkerCrashModel,
+    WorkloadHangModel,
+)
+from repro.service import (
+    TERMINAL_STATES,
+    BreakerConfig,
+    CampaignService,
+    JobSpec,
+    SupervisorConfig,
+)
 from repro.testbed import campus_deployment
 
 BENCH_PATH = REPO_ROOT / "BENCH_hotpath.json"
@@ -112,6 +123,10 @@ FLEET_SPILL_RSS_BUDGET_KB = 262_144  # units: KiB (256 MiB)
 SERVICE_UNIQUE_JOBS = 24
 SERVICE_SEED = 2020
 SERVICE_REPEATS = 3
+
+FAULTY_SERVICE_JOBS = 24
+FAULTY_SERVICE_CRASH_PROB = 0.12
+FAULTY_SERVICE_HANG_PROB = 0.08  # 20% crash/hang mix per attempt
 
 
 def _rss_snapshot() -> dict[str, int]:
@@ -523,6 +538,75 @@ def _bench_campaign_service(report: ThroughputReport) -> None:
     })
 
 
+def _bench_campaign_service_faulty(report: ThroughputReport) -> None:
+    """Supervised campaign service under chaos, in terminal jobs/second.
+
+    Same unique-job mix as ``campaign_service`` but every attempt rolls
+    a seeded 20% crash/hang disruption (12% worker crash, 8% workload
+    hang), so the run exercises the full resilience stack: heartbeat
+    watchdog resets, ``RetryPolicy`` backoff with jitter, poison-job
+    quarantine and per-kind circuit breakers.  Items are jobs driven to
+    *a* terminal state — completed, failed or quarantined — because the
+    floor gated by ``check_regression.py`` is on supervision overhead,
+    not engine time.  The terminal-state mix is annotated so a silent
+    shift (e.g. everything quarantining) shows up in the baseline diff.
+    """
+    def build_service() -> CampaignService:
+        return CampaignService(
+            seed=SERVICE_SEED,
+            supervisor=SupervisorConfig(
+                policy=RetryPolicy(max_attempts=3, backoff="exponential",
+                                   base_delay_s=0.5,
+                                   jitter_fraction=0.1,
+                                   seed=SERVICE_SEED + 1)),
+            breakers=BreakerConfig(seed=SERVICE_SEED + 2,
+                                   failure_threshold=4,
+                                   open_duration_s=30.0),
+            faults=ServiceFaultPlan(
+                seed=SERVICE_SEED + 3,
+                worker_crash=WorkerCrashModel(
+                    seed=SERVICE_SEED + 3,
+                    crash_prob=FAULTY_SERVICE_CRASH_PROB),
+                workload_hang=WorkloadHangModel(
+                    seed=SERVICE_SEED + 3,
+                    hang_prob=FAULTY_SERVICE_HANG_PROB)))
+
+    specs = [JobSpec(kind="sweep-ble",
+                     config={"packets": 2, "stop_dbm": -84.0},
+                     seed=seed)
+             for seed in range(FAULTY_SERVICE_JOBS)]
+
+    def run_service() -> CampaignService:
+        service = build_service()
+        for spec in specs:
+            service.submit(spec)
+        service.run_until_idle()
+        return service
+
+    service = run_service()
+    jobs = service.jobs()
+    if not all(job.state in TERMINAL_STATES for job in jobs):
+        raise AssertionError(
+            "faulty benchmark service left non-terminal jobs")
+    stats = service.stats()
+    if stats.completed == 0:
+        raise AssertionError(
+            "faulty benchmark service completed nothing; the fault "
+            "mix is too hot to measure supervision throughput")
+
+    report.add("campaign_service_faulty", "fast", measure_throughput(
+        "campaign_service_faulty.fast", run_service, len(specs),
+        unit="jobs", repeats=SERVICE_REPEATS))
+    report.annotate("campaign_service_faulty", service={
+        "jobs_submitted": stats.submitted,
+        "jobs_completed": stats.completed,
+        "jobs_failed": stats.failed,
+        "jobs_quarantined": stats.quarantined,
+        "attempts": sum(job.attempts for job in jobs),
+        "virtual_now_s": stats.virtual_now_s,
+    })
+
+
 # Every harness entry, in sweep order.  Entry names are what ``--only``
 # matches and what keys the per-entry metadata; an entry may add one or
 # more result groups (the codec entry adds pack and unpack).
@@ -540,6 +624,8 @@ _ENTRIES = (
      lambda report, rng: _bench_campaign_100k(report)),
     ("campaign_service",
      lambda report, rng: _bench_campaign_service(report)),
+    ("campaign_service_faulty",
+     lambda report, rng: _bench_campaign_service_faulty(report)),
     ("lora_end_to_end", _bench_lora_end_to_end),
     ("lora_streaming_4msps", _bench_lora_streaming),
 )

@@ -8,17 +8,20 @@ lands.  Speedups are reported but never fail the gate; refresh the
 committed baseline by re-running the harness
 (``python benchmarks/bench_hotpath_throughput.py``).
 
-On top of the relative gate, three absolute floors are enforced within
+On top of the relative gate, four absolute floors are enforced within
 the fresh sweep itself: the vectorized fleet engine
 (``ota_campaign_100k``, ISSUE-6) must sustain at least 100x the legacy
 timeline-backed campaign (``ota_campaign``) in events/second, the
 campaign service (``campaign_service``, ISSUE-8) must keep its result
 cache's hit ratio on the 50% duplicate-job mix at the designed 0.5
 (floor 0.45) — a drop means content addressing or the dedupe path
-broke — and the chunked streaming LoRa receiver
-(``lora_streaming_4msps``, ISSUE-9) must sustain at least 4.0 Msps of
-complex baseband through :class:`StreamingDemodulator`, the paper's
-over-the-air gateway headline.
+broke — the supervised service under a seeded 20% crash/hang mix
+(``campaign_service_faulty``, ISSUE-10) must sustain at least 50
+terminal jobs/second — a dip means journaling, watchdog or breaker
+bookkeeping became a hot path — and the chunked streaming LoRa
+receiver (``lora_streaming_4msps``, ISSUE-9) must sustain at least
+4.0 Msps of complex baseband through :class:`StreamingDemodulator`,
+the paper's over-the-air gateway headline.
 
 Usage::
 
@@ -46,6 +49,9 @@ FLEET_MIN_SPEEDUP = 100.0
 
 SERVICE_GROUP = "campaign_service"
 SERVICE_MIN_HIT_RATIO = 0.45
+
+FAULTY_SERVICE_GROUP = "campaign_service_faulty"
+FAULTY_SERVICE_MIN_JOBS_PER_S = 50.0
 
 STREAMING_GROUP = "lora_streaming_4msps"
 STREAMING_MIN_SPS = 4.0e6
@@ -149,6 +155,39 @@ def check_service_floor(fresh: dict,
     return ([], [line])
 
 
+def check_faulty_service_floor(fresh: dict,
+                               min_jobs_per_s: float =
+                               FAULTY_SERVICE_MIN_JOBS_PER_S
+                               ) -> tuple[list[str], list[str]]:
+    """ISSUE-10 acceptance floor; returns (failures, notes).
+
+    The faulty service entry drives every job through the supervised
+    worker loop under a seeded 20% crash/hang mix, so this absolute
+    jobs/second floor bounds the bookkeeping cost of journal appends,
+    watchdog resets, retry backoff and breaker accounting.  Measured
+    throughput sits roughly an order of magnitude above the floor on
+    the reference container; dipping below it means supervision became
+    a hot path.
+    """
+    results = fresh.get("results", {})
+    try:
+        rate = results[FAULTY_SERVICE_GROUP]["fast"]["items_per_second"]
+    except KeyError:
+        return ([f"faulty service floor: {FAULTY_SERVICE_GROUP} "
+                 f"missing from fresh run"], [])
+    entry = (fresh.get("metadata", {}).get("entries", {})
+             .get(FAULTY_SERVICE_GROUP, {}).get("service", {}))
+    mix = (f"{entry.get('jobs_completed', '?')} completed / "
+           f"{entry.get('jobs_failed', '?')} failed / "
+           f"{entry.get('jobs_quarantined', '?')} quarantined")
+    line = (f"faulty service floor: {FAULTY_SERVICE_GROUP} "
+            f"{rate:.3e} jobs/s under the 20% crash/hang mix "
+            f"({mix}; need >= {min_jobs_per_s:.1f})")
+    if rate < min_jobs_per_s:
+        return ([line], [])
+    return ([], [line])
+
+
 def check_streaming_floor(fresh: dict,
                           min_sps: float = STREAMING_MIN_SPS
                           ) -> tuple[list[str], list[str]]:
@@ -197,7 +236,7 @@ def main(argv: list[str] | None = None) -> int:
                      for _ in range(max(1, args.runs))])
     regressions, notes = compare(baseline, fresh, args.threshold)
     for check in (check_fleet_floor, check_service_floor,
-                  check_streaming_floor):
+                  check_faulty_service_floor, check_streaming_floor):
         floor_failures, floor_notes = check(fresh)
         regressions += floor_failures
         notes += floor_notes

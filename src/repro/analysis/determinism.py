@@ -219,11 +219,25 @@ def service_session_fingerprint(seed: int) -> str:
         service.submit(spec)
     service.run_until_idle()
 
+    return service_digest(service)
+
+
+def service_digest(service) -> str:
+    """Deterministic digest of everything a service session produced.
+
+    Covers each job's lifecycle (state, attempts, cache verdict,
+    detail) and result fingerprint, every ledger row with bit-exact
+    float timestamps, and the full stats snapshot.  Any divergence
+    anywhere in admission, scheduling, supervision, caching or event
+    journaling changes the digest — which is exactly what makes it the
+    crash-recovery parity oracle: a recovered session must reproduce
+    the uninterrupted session's digest bit-for-bit.
+    """
     digest = hashlib.sha256()
     for job in service.jobs():
         digest.update(
             f"{job.job_id}|{job.state}|{int(job.cache_hit)}|"
-            f"{job.detail}".encode())
+            f"{job.attempts}|{job.detail}".encode())
         if job.result is not None:
             digest.update(job.result.fingerprint().encode())
     for event in service.timeline:
@@ -234,7 +248,8 @@ def service_session_fingerprint(seed: int) -> str:
     digest.update(json.dumps(
         {"submitted": stats.submitted, "admitted": stats.admitted,
          "rejected": stats.rejected, "completed": stats.completed,
-         "cache_hits": stats.cache_hits,
+         "failed": stats.failed, "quarantined": stats.quarantined,
+         "shed": stats.shed, "cache_hits": stats.cache_hits,
          "virtual_now_s": stats.virtual_now_s.hex(),
          "invocations": stats.invocations, "tenants": stats.tenants},
         sort_keys=True).encode())
@@ -300,3 +315,163 @@ def service_check_from_env(
     if not determinism_enabled(environ):
         return None
     return service_double_run_check(seed)
+
+
+# -- resilient-service double run ------------------------------------------
+
+ENV_RESILIENCE_SEED = "REPRO_DET_RESILIENCE_SEED"
+
+
+def resilient_session_tenants(seed: int):
+    """The extra tenants the scripted resilient session registers.
+
+    Exposed separately because a crash-recovery driver must re-add any
+    tenant whose journal record the crash ate (tenant *configuration*
+    is the operator's input, not derivable service state).
+    """
+    from repro.service import TenantConfig
+
+    return (TenantConfig(name="lab", max_pending=4,
+                         bucket_capacity=8.0, refill_per_s=8.0),)
+
+
+def resilient_session_service(seed: int, journal=None):
+    """A service with the full resilience stack armed, keyed by seed.
+
+    Supervised retries with jittered backoff, a hair-trigger circuit
+    breaker, queue-depth load shedding and seeded worker-crash /
+    workload-hang chaos — every degradation path the scheduler has, so
+    the session fingerprint covers all of them.
+    """
+    from repro.faults.service import (
+        ServiceFaultPlan,
+        WorkerCrashModel,
+        WorkloadHangModel,
+    )
+    from repro.ota.mac import RetryPolicy
+    from repro.service import (
+        BreakerConfig,
+        CampaignService,
+        SheddingPolicy,
+        SupervisorConfig,
+    )
+
+    return CampaignService(
+        seed=seed,
+        journal=journal,
+        tenants=resilient_session_tenants(seed),
+        supervisor=SupervisorConfig(
+            policy=RetryPolicy(max_attempts=3, backoff="exponential",
+                               base_delay_s=0.5, jitter_fraction=0.1,
+                               seed=seed + 1)),
+        breakers=BreakerConfig(seed=seed + 2, failure_threshold=2,
+                               open_duration_s=30.0),
+        shedding=SheddingPolicy(queue_high_water=6),
+        faults=ServiceFaultPlan(
+            seed=seed + 3,
+            worker_crash=WorkerCrashModel(seed=seed + 3, crash_prob=0.25),
+            workload_hang=WorkloadHangModel(seed=seed + 3,
+                                            hang_prob=0.2)))
+
+
+def resilient_session_specs(seed: int):
+    """The scripted resilient session's submissions, keyed by seed.
+
+    Exercises every terminal state: cheap completions across two
+    tenants, an exact duplicate (a cache hit), a twice-submitted
+    always-failing spec (two strikes trip the ``sweep-lora`` breaker,
+    so a third identical submission is rejected at dispatch with the
+    breaker open), and enough submissions to make shedding reachable.
+    """
+    from repro.service import PRIORITY_HIGH, JobSpec
+
+    poison = JobSpec(kind="sweep-lora",
+                     config={"spreading_factor": 99}, seed=seed)
+    return (
+        JobSpec(kind="info", seed=seed),
+        JobSpec(kind="power", seed=seed, tenant="lab"),
+        poison,
+        JobSpec(kind="sweep-ble",
+                config={"packets": 2, "stop_dbm": -86.0}, seed=seed,
+                priority=PRIORITY_HIGH),
+        poison,
+        JobSpec(kind="info", seed=seed),
+        poison,
+        JobSpec(kind="power", seed=seed + 1, tenant="lab"),
+        JobSpec(kind="info", seed=seed + 1, tenant="lab"),
+    )
+
+
+def resilient_session_fingerprint(seed: int) -> str:
+    """Digest of the scripted resilient session (no journal attached).
+
+    The chaos suite's parity oracle: the same session journaled,
+    crashed at an arbitrary record boundary and recovered must
+    reproduce this exact digest.
+    """
+    service = resilient_session_service(seed)
+    for spec in resilient_session_specs(seed):
+        service.submit(spec)
+    service.run_until_idle()
+    return service_digest(service)
+
+
+def _resilient_fingerprint_main() -> None:
+    """Subprocess entry: run the resilient session, print the digest."""
+    # The env *is* the configuration channel here: the parent serialized
+    # the session seed through it precisely so this run is replayable.
+    seed = int(os.environ[ENV_RESILIENCE_SEED])
+    print(resilient_session_fingerprint(seed))  # reprolint: disable=REPRO011
+
+
+def resilience_double_run_check(
+        seed: int = 0,
+        hashseeds: Sequence[str] = SERVICE_RUNS) -> str:
+    """Run the resilient session once per hash seed and diff digests.
+
+    Returns the common fingerprint.
+
+    Raises:
+        SanitizerError: when any run's fingerprint diverges, or a run
+            fails outright.
+    """
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    fingerprints: list[tuple[str, str]] = []
+    for hashseed in hashseeds:
+        env = dict(os.environ)
+        env[ENV_RESILIENCE_SEED] = str(seed)
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.analysis.determinism import "
+             "_resilient_fingerprint_main; _resilient_fingerprint_main()"],
+            env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise SanitizerError(
+                f"resilience determinism run (hashseed={hashseed}) "
+                f"failed: {proc.stderr.strip()[-500:]}")
+        fingerprints.append((hashseed, proc.stdout.strip()))
+    distinct = {fp for _, fp in fingerprints}
+    if len(distinct) != 1:
+        detail = ", ".join(f"hashseed={h} -> {fp[:16]}"
+                           for h, fp in fingerprints)
+        raise SanitizerError(
+            f"resilient service is not run-deterministic: {detail}; some "
+            f"supervision, breaker, shedding or recovery decision "
+            f"depends on hash-seed iteration order")
+    return fingerprints[0][1]
+
+
+def resilience_check_from_env(
+        seed: int = 0,
+        environ: Mapping[str, str] | None = None) -> str | None:
+    """Run :func:`resilience_double_run_check` under ``REPRO_DETERMINISM=1``.
+
+    Returns the fingerprint when the check ran, ``None`` otherwise.
+    """
+    if not determinism_enabled(environ):
+        return None
+    return resilience_double_run_check(seed)

@@ -29,6 +29,9 @@ REPRO014  service-discipline    service/CLI code reaches engines only
 REPRO015  streaming-state-discipline  chunked streaming processors
                                 define reset() and re-initialize every
                                 carry-over attribute in it
+REPRO016  recovery-discipline   service except handlers re-raise or
+                                record a service event; retries only
+                                through RetryPolicy backoff
 ========  ====================  ==========================================
 
 REPRO011-013 are *semantic* rules: they share one whole-program model
@@ -46,6 +49,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     fleet,
     parity,
     provenance,
+    recovery,
     rng,
     service,
     shardsafety,

@@ -28,6 +28,10 @@ _FAULT_CONSTRUCTORS = frozenset({
     "BrownoutModel",
     "ApOutageModel",
     "HangModel",
+    "WorkerCrashModel",
+    "WorkloadHangModel",
+    "JournalTornWriteModel",
+    "ServiceFaultPlan",
 })
 
 #: Keywords that satisfy the discipline.

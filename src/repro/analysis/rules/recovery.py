@@ -1,0 +1,162 @@
+"""REPRO016 — service except handlers re-raise, record, or retry right.
+
+The campaign service's crash-recovery story rests on a discipline: a
+failure is either *propagated* (re-raised for the caller — including
+the chaos driver, which must see ``SimulatedCrashError``) or *recorded*
+(a ``service.*`` event on the timeline, so the ledger — and therefore
+the session fingerprint and the journal replay — knows the failure
+happened).  An except handler that does neither makes a failure
+invisible to recovery: the journaled replay takes the success path
+where the original run silently limped, and fingerprint parity breaks
+in a way no test pins to the offending line.
+
+Retries are part of the same discipline: a handler that loops back for
+another attempt (``continue``) must price the retry through a
+:class:`~repro.ota.mac.RetryPolicy` backoff (``delay_s``), never an
+ad-hoc sleep or an immediate spin — unpriced retries don't advance the
+virtual clock, so a recovered session disagrees with the original about
+*when* everything after the retry happened.
+
+Flagged, inside ``repro/service/``:
+
+* an ``except`` handler whose body neither raises, nor calls a
+  ``record``-style sink (``timeline.record(...)``), nor calls a
+  module-local helper that transitively does one of those;
+* an ``except`` handler that retries via ``continue`` inside a
+  function that never consults ``RetryPolicy.delay_s``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, FileRule, Finding, register
+
+_HINT = ("re-raise the error, record a service.* event on the timeline, "
+         "or route the handling through a helper that does (the journal "
+         "replay can only reproduce failures the ledger saw)")
+
+_RETRY_HINT = ("price retries through RetryPolicy.delay_s so backoff "
+               "advances the virtual clock identically on replay")
+
+
+def _called_names(tree: ast.AST) -> set[str]:
+    """Bare names of everything called inside ``tree``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            names.add(func.id)
+        elif isinstance(func, ast.Attribute):
+            names.add(func.attr)
+    return names
+
+
+def _handles_directly(tree: ast.AST) -> bool:
+    """Whether ``tree`` contains a raise or a ``record`` call."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            if name == "record":
+                return True
+    return False
+
+
+def _handling_functions(tree: ast.Module) -> set[str]:
+    """Module-local callables that transitively raise or record.
+
+    Fixpoint over the module's function definitions (bare names, so
+    methods count): a function handles if its own body raises or
+    records, or if it calls another handling function.
+    """
+    functions: dict[str, list[ast.AST]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.setdefault(node.name, []).append(node)
+    handling = {name for name, defs in functions.items()
+                if any(_handles_directly(d) for d in defs)}
+    changed = True
+    while changed:
+        changed = False
+        for name, defs in functions.items():
+            if name in handling:
+                continue
+            if any(_called_names(d) & handling for d in defs):
+                handling.add(name)
+                changed = True
+    return handling
+
+
+def _enclosing_function(tree: ast.Module,
+                        handler: ast.ExceptHandler) -> ast.AST | None:
+    """The innermost function definition containing ``handler``."""
+    enclosing: ast.AST | None = None
+    stack: list[tuple[ast.AST, ast.AST | None]] = [(tree, None)]
+    while stack:
+        node, current = stack.pop()
+        if node is handler:
+            return current
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            current = node
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, current))
+    return enclosing
+
+
+@register
+class RecoveryDisciplineRule(FileRule):
+    """Service except handlers must re-raise, record, or retry priced."""
+
+    rule_id = "REPRO016"
+    name = "recovery-discipline"
+    description = ("service except handlers must re-raise or record a "
+                   "service event (directly or via a helper), and may "
+                   "only retry through RetryPolicy backoff")
+    default_scope = ("*/repro/service/*.py",)
+
+    def check_file(self, ctx: FileContext,
+                   config: LintConfig) -> Iterable[Finding]:
+        handling = _handling_functions(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            retries = any(isinstance(child, ast.Continue)
+                          for stmt in node.body
+                          for child in ast.walk(stmt))
+            if retries:
+                function = _enclosing_function(ctx.tree, node)
+                priced = (function is not None
+                          and "delay_s" in _called_names(function))
+                if not priced:
+                    yield Finding(
+                        rule_id=self.rule_id, path=ctx.relpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=("except handler retries via 'continue' "
+                                 "without a RetryPolicy.delay_s backoff "
+                                 "(ad-hoc retry)"),
+                        hint=_RETRY_HINT)
+                    continue
+            handled = _handles_directly(
+                ast.Module(body=node.body, type_ignores=[]))
+            if not handled:
+                handled = bool(
+                    _called_names(
+                        ast.Module(body=node.body, type_ignores=[]))
+                    & handling)
+            if not handled:
+                yield Finding(
+                    rule_id=self.rule_id, path=ctx.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    message=("except handler neither re-raises nor "
+                             "records a service.* event (the failure is "
+                             "invisible to journal replay)"),
+                    hint=_HINT)

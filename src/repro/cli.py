@@ -9,6 +9,8 @@ Gives shell access to the experiments a testbed operator runs most:
 * ``repro campaign`` - OTA-program a simulated campus testbed.
 * ``repro fleet`` - vectorized fleet-scale OTA campaign (100k+ nodes).
 * ``repro adr`` - rate-adaptation study across the deployment.
+* ``repro service`` - submit one job through the full resilient
+  service stack (optionally journaled for crash recovery).
 
 Install the package and run ``python -m repro.cli <command>``.
 
@@ -24,12 +26,24 @@ content-addressed result cache when seeded the same way).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.service import JOB_COMPLETED, CampaignService, Job, JobSpec
+from repro.errors import ReproError
+from repro.service import (
+    JOB_COMPLETED,
+    CampaignService,
+    Job,
+    JobJournal,
+    JobSpec,
+)
+
+_FAILURE_EVENT_TAIL = 5
+"""Trailing ``service.*`` events echoed when a job does not complete."""
 
 
-def _run_job(kind: str, config: dict, seed: int = 0) -> Job:
+def _run_job(kind: str, config: dict,
+             seed: int = 0) -> tuple[CampaignService, Job]:
     """Submit one spec to a fresh service and drain the queue.
 
     The CLI is a single-shot client: one process, one service, one job.
@@ -37,20 +51,30 @@ def _run_job(kind: str, config: dict, seed: int = 0) -> Job:
     caller maps it to exit code 1.
     """
     service = CampaignService()
-    return service.submit_and_run(
+    job = service.submit_and_run(
         JobSpec(kind=kind, config=config, seed=seed))
+    return service, job
 
 
-def _payload(job: Job) -> dict | None:
-    """The completed job's payload, or ``None`` after printing why not."""
+def _payload(service: CampaignService, job: Job) -> dict | None:
+    """The completed job's payload, or ``None`` after printing why not.
+
+    A failed, rejected or quarantined job prints a one-line reason plus
+    the tail of its ``service.*`` event stream, so the operator sees
+    *how* it died (retries, watchdog resets, breaker trips) without
+    digging through a timeline dump.
+    """
     if job.state != JOB_COMPLETED or job.result is None:
         print(f"repro: job {job.state}: {job.detail}", file=sys.stderr)
+        for event in service.job_events(job.job_id)[-_FAILURE_EVENT_TAIL:]:
+            print(f"repro:   [{event.t_start_s:.6f}s] {event.kind}: "
+                  f"{event.label}", file=sys.stderr)
         return None
     return job.result.payload_mapping()
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    payload = _payload(_run_job("info", {}))
+    payload = _payload(*_run_job("info", {}))
     if payload is None:
         return 1
     print("tinySDR platform summary")
@@ -67,7 +91,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_power(args: argparse.Namespace) -> int:
-    payload = _payload(_run_job(
+    payload = _payload(*_run_job(
         "power", {"tx_power_dbm": args.tx_power}))
     if payload is None:
         return 1
@@ -80,7 +104,7 @@ def _cmd_power(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_lora(args: argparse.Namespace) -> int:
-    payload = _payload(_run_job(
+    payload = _payload(*_run_job(
         "sweep-lora",
         {"spreading_factor": args.sf, "bandwidth_khz": args.bandwidth,
          "start_dbm": args.start, "stop_dbm": args.stop,
@@ -98,7 +122,7 @@ def _cmd_sweep_lora(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_ble(args: argparse.Namespace) -> int:
-    payload = _payload(_run_job(
+    payload = _payload(*_run_job(
         "sweep-ble",
         {"start_dbm": args.start, "stop_dbm": args.stop,
          "step_db": args.step, "packets": args.packets},
@@ -114,7 +138,7 @@ def _cmd_sweep_ble(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    payload = _payload(_run_job(
+    payload = _payload(*_run_job(
         "campaign", {"image": args.image, "nodes": args.nodes},
         seed=args.seed))
     if payload is None:
@@ -135,7 +159,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               "loss": args.loss,
               "verify_failure_prob": args.verify_failure_prob,
               "spill": args.spill}
-    payload = _payload(_run_job("fleet", config, seed=args.seed))
+    payload = _payload(*_run_job("fleet", config, seed=args.seed))
     if payload is None:
         return 1
     print(f"fleet campaign: {payload['nodes']} nodes, "
@@ -154,8 +178,39 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if abandoned < payload["nodes"] else 1
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    try:
+        config = json.loads(args.config)
+    except ValueError as exc:
+        print(f"repro: --config is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 1
+    if not isinstance(config, dict):
+        print(f"repro: --config must be a JSON object, "
+              f"got {type(config).__name__}", file=sys.stderr)
+        return 1
+    try:
+        journal = JobJournal(args.journal) if args.journal else None
+        service = CampaignService(journal=journal)
+        job = service.submit_and_run(
+            JobSpec(kind=args.kind, config=config, seed=args.seed))
+    except ReproError as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    payload = _payload(service, job)
+    if payload is None:
+        return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    stats = service.stats()
+    print(f"repro: job{job.job_id} completed "
+          f"{'from cache' if job.cache_hit else 'by the engine'} at "
+          f"t={job.completed_at_s:.6f}s "
+          f"(invocations: {stats.invocations})", file=sys.stderr)
+    return 0
+
+
 def _cmd_adr(args: argparse.Namespace) -> int:
-    payload = _payload(_run_job("adr", {}, seed=args.seed))
+    payload = _payload(*_run_job("adr", {}, seed=args.seed))
     if payload is None:
         return 1
     print(f"{'node':>4s} {'path loss':>10s} {'converged':>14s} "
@@ -232,6 +287,19 @@ def build_parser() -> argparse.ArgumentParser:
     adr = sub.add_parser("adr", help="rate-adaptation study")
     adr.add_argument("--seed", type=int, default=0)
     adr.set_defaults(func=_cmd_adr)
+
+    service = sub.add_parser(
+        "service",
+        help="submit one job through the resilient campaign service")
+    service.add_argument("--kind", required=True,
+                         help="registered workload kind (e.g. info)")
+    service.add_argument("--config", default="{}",
+                         help="job configuration as a JSON object")
+    service.add_argument("--seed", type=int, default=0)
+    service.add_argument("--journal", default=None, metavar="PATH",
+                         help="write-ahead job journal for crash "
+                              "recovery (JSONL)")
+    service.set_defaults(func=_cmd_service)
     return parser
 
 

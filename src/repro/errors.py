@@ -96,6 +96,19 @@ class TransferAbandonedError(OtaError):
     """A node exhausted every retry/resume budget and was given up on."""
 
 
+class JournalError(ReproError):
+    """A job journal is corrupt, inconsistent, or cannot be replayed."""
+
+
+class SimulatedCrashError(ReproError):
+    """Control-flow signal: the chaos harness killed the service process.
+
+    Raised by :class:`repro.service.resilience.CrashPlan` at a journal
+    append boundary.  The service never catches it - the chaos driver
+    does, then exercises ``CampaignService.recover``.
+    """
+
+
 class ProtocolError(ReproError):
     """A MAC/link protocol state machine received an invalid event."""
 

@@ -11,6 +11,10 @@ The package splits cleanly into *what can go wrong* and *doing it*:
   ``fault.*`` :class:`~repro.sim.SimEvent` for every injected failure.
 * :mod:`repro.faults.hardware` — :class:`FaultyFlash`, an MX25R6435F
   whose page programs occasionally fail or leave stuck bits.
+* :mod:`repro.faults.service` — service-layer chaos for the campaign
+  service: worker crashes, workload hangs, and torn journal writes,
+  bundled by :class:`ServiceFaultPlan` into per-job :class:`JobFaults`
+  injectors.
 
 Reproducibility contract: every model takes an explicit keyword-only
 ``seed`` (lint rule REPRO009), fault streams are independent
@@ -32,6 +36,13 @@ from repro.faults.models import (
     spawn_rng,
 )
 from repro.faults.plan import FaultPlan, NodeFaults
+from repro.faults.service import (
+    JobFaults,
+    JournalTornWriteModel,
+    ServiceFaultPlan,
+    WorkerCrashModel,
+    WorkloadHangModel,
+)
 
 # Last: hardware transitively imports repro.ota, which imports the plan
 # and model names above right back out of this package.
@@ -47,6 +58,11 @@ __all__ = [
     "FlashFaultModel",
     "GilbertElliott",
     "HangModel",
+    "JobFaults",
+    "JournalTornWriteModel",
     "NodeFaults",
+    "ServiceFaultPlan",
+    "WorkerCrashModel",
+    "WorkloadHangModel",
     "spawn_rng",
 ]

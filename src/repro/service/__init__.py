@@ -13,16 +13,20 @@ front door:
 * :mod:`repro.service.registry` / :mod:`repro.service.workloads` —
   the REPRO014 boundary and the engine adapters behind it;
 * :mod:`repro.service.api` — :class:`CampaignService`, the virtual-time
-  scheduler tying it all together on a :class:`repro.sim.Timeline`.
+  scheduler tying it all together on a :class:`repro.sim.Timeline`;
+* :mod:`repro.service.resilience` — crash recovery (the write-ahead
+  job journal), supervised workers, circuit breakers and load shedding.
 """
 
 from repro.service.api import (
     ADMISSION_OVERHEAD_S,
     JOB_COMPLETED,
     JOB_FAILED,
+    JOB_QUARANTINED,
     JOB_QUEUED,
     JOB_REJECTED,
     JOB_RUNNING,
+    TERMINAL_STATES,
     CampaignService,
     Job,
     ServiceStats,
@@ -43,6 +47,16 @@ from repro.service.registry import (
     UnknownWorkloadError,
     WorkloadRegistry,
 )
+from repro.service.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    CrashPlan,
+    HeartbeatMonitor,
+    JobJournal,
+    SheddingPolicy,
+    SupervisorConfig,
+    read_journal,
+)
 from repro.service.tenancy import (
     TenantConfig,
     TenantCounters,
@@ -58,19 +72,28 @@ __all__ = [
     "DEFAULT_TENANT",
     "JOB_COMPLETED",
     "JOB_FAILED",
+    "JOB_QUARANTINED",
     "JOB_QUEUED",
     "JOB_REJECTED",
     "JOB_RUNNING",
     "PRIORITY_BATCH",
     "PRIORITY_HIGH",
     "PRIORITY_NORMAL",
+    "TERMINAL_STATES",
+    "BreakerConfig",
     "CampaignService",
+    "CircuitBreaker",
+    "CrashPlan",
+    "HeartbeatMonitor",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobResult",
     "JobSpec",
     "ResultCache",
     "ServiceStats",
+    "SheddingPolicy",
+    "SupervisorConfig",
     "TenantConfig",
     "TenantCounters",
     "TenantState",

@@ -19,6 +19,7 @@ stats surface exactly like plan-cache stats do in the bench metadata.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.perf.cache import CacheStats
@@ -34,31 +35,55 @@ class ResultCache:
     Args:
         max_entries: maximum resident results; least recently used
             results are evicted past this bound.
+        on_corruption: called with the content address whenever a
+            stored result fails digest re-verification on lookup (the
+            entry is evicted and the lookup degrades to a miss).
 
     Raises:
         ConfigurationError: for a non-positive capacity.
     """
 
     def __init__(self,
-                 max_entries: int = DEFAULT_RESULT_CACHE_ENTRIES) -> None:
+                 max_entries: int = DEFAULT_RESULT_CACHE_ENTRIES,
+                 on_corruption: Callable[[str], None] | None = None) -> None:
         if max_entries < 1:
             raise ConfigurationError(
                 f"cache capacity must be >= 1, got {max_entries}")
         self.max_entries = max_entries
-        self._entries: OrderedDict[str, JobResult] = OrderedDict()
+        self._on_corruption = on_corruption
+        self._entries: OrderedDict[str, tuple[JobResult, str]] = \
+            OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._corruptions = 0
+
+    @property
+    def corruptions(self) -> int:
+        """Entries that failed re-verification and were evicted."""
+        return self._corruptions
 
     def get(self, address: str) -> JobResult | None:
         """The cached result for ``address``, or ``None`` on a miss.
 
-        Hits refresh recency; both outcomes update the counters.
+        Hits refresh recency; both outcomes update the counters.  Every
+        hit re-verifies the result against the content fingerprint
+        recorded at store time; a mismatch (bit rot, an in-place
+        mutation of the shared result object) evicts the entry, reports
+        it via ``on_corruption`` and degrades to a miss — a corrupt
+        cache must cost a recompute, never serve a wrong answer.
         """
-        try:
-            result = self._entries[address]
-        except KeyError:
+        entry = self._entries.get(address)
+        if entry is None:
             self._misses += 1
+            return None
+        result, stored_fingerprint = entry
+        if result.fingerprint() != stored_fingerprint:
+            del self._entries[address]
+            self._corruptions += 1
+            self._misses += 1
+            if self._on_corruption is not None:
+                self._on_corruption(address)
             return None
         self._entries.move_to_end(address)
         self._hits += 1
@@ -72,7 +97,7 @@ class ResultCache:
         first computation is as good as any.
         """
         if result.address not in self._entries:
-            self._entries[result.address] = result
+            self._entries[result.address] = (result, result.fingerprint())
         self._entries.move_to_end(result.address)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
@@ -84,6 +109,7 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._corruptions = 0
 
     def stats(self) -> CacheStats:
         """Counters snapshot, same shape as the plan cache's."""

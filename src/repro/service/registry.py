@@ -85,6 +85,23 @@ class WorkloadRegistry:
         self._invocations[kind] += 1
         return runner(config, seed, emit)
 
+    def count_replayed(self, kind: str) -> None:
+        """Count a journal-replayed run without executing the adapter.
+
+        Crash recovery substitutes journaled results for engine
+        invocations; bumping the counter keeps the per-kind totals —
+        and everything fingerprinted from them — identical to the
+        uninterrupted session's.
+
+        Raises:
+            UnknownWorkloadError: for an unregistered kind.
+        """
+        if kind not in self._runners:
+            raise UnknownWorkloadError(
+                f"no workload registered for kind {kind!r}; "
+                f"known kinds: {', '.join(self.kinds()) or '(none)'}")
+        self._invocations[kind] += 1
+
     def invocations(self, kind: str | None = None) -> int:
         """Engine runs so far, for one kind or in total."""
         if kind is not None:

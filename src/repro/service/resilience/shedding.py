@@ -1,0 +1,60 @@
+"""Admission-control load shedding: reject early when overloaded.
+
+Under overload a service that keeps admitting drowns: queue latency
+grows without bound and every tenant suffers.  The shedding policy
+refuses new work *at admission* — after the submission is journaled and
+charged its admission overhead, before quota and rate-limit checks —
+once the global queue depth or the submitting tenant's backlog crosses
+a high-water mark.  A shed job ends ``JOB_REJECTED`` with a
+``service.shed`` ledger event, so a trace distinguishes overload
+rejections from quota or rate-limit rejections.
+
+The decision is a pure function of the service's deterministic state
+(queue depth, tenant backlog), so it replays bit-exactly during journal
+recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, kw_only=True)
+class SheddingPolicy:
+    """High-water marks above which admission sheds new jobs.
+
+    Attributes:
+        queue_high_water: shed when this many jobs already await
+            dispatch (``None`` disables the global mark).
+        tenant_high_water: shed when the submitting tenant already has
+            this many jobs pending (``None`` disables the per-tenant
+            mark).
+    """
+
+    queue_high_water: int | None = 64
+    tenant_high_water: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("queue_high_water", "tenant_high_water"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1 or None, got {value!r}")
+        if self.queue_high_water is None and self.tenant_high_water is None:
+            raise ConfigurationError(
+                "shedding policy needs at least one high-water mark")
+
+    def should_shed(self, queue_depth: int,
+                    tenant_pending: int) -> str | None:
+        """The shed reason at the given load, or ``None`` to admit."""
+        if (self.queue_high_water is not None
+                and queue_depth >= self.queue_high_water):
+            return (f"queue depth {queue_depth} at high-water mark "
+                    f"{self.queue_high_water}")
+        if (self.tenant_high_water is not None
+                and tenant_pending >= self.tenant_high_water):
+            return (f"tenant backlog {tenant_pending} at high-water "
+                    f"mark {self.tenant_high_water}")
+        return None

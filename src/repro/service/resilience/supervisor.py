@@ -1,0 +1,143 @@
+"""Supervised worker model: deadlines, heartbeats, bounded retry.
+
+The supervisor wraps every engine execution the service dispatches:
+
+* a per-job **heartbeat monitor** — the :class:`repro.mcu.watchdog`
+  kick-or-expire idiom on the service's virtual clock — turns an
+  injected worker crash into a bounded detection dwell instead of a
+  lost session;
+* a per-job **watchdog deadline** catches workloads that wedge without
+  exiting (heartbeats keep flowing, progress does not);
+* a **bounded retry budget** — the OTA :class:`RetryPolicy` reused at
+  the service layer, with a deterministic per-job jitter stream — backs
+  transient strikes off without synchronized retry storms;
+* **poison-job quarantine**: a job that strikes out lands in the
+  terminal ``JOB_QUARANTINED`` state, never an infinite retry loop.
+
+Crash/hang/deadline strikes are *transient* (retried); an engine
+raising :class:`~repro.errors.ReproError` is *permanent* (the job is
+deterministic — rerunning it fails identically) and fails the job
+immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+# The MAC retry policy is scheduling machinery, not an engine entry
+# point: reusing it keeps one backoff vocabulary across layers.
+from repro.ota.mac import RetryPolicy  # reprolint: disable=REPRO014
+
+# Sub-stream tag for per-job supervision jitter (the OTA jitter stream
+# uses 0x0177; this one must stay distinct under a shared seed).
+_STREAM_SUPERVISOR = 0x0178
+
+
+@dataclass(frozen=True, kw_only=True)
+class SupervisorConfig:
+    """Supervision policy for dispatched jobs.
+
+    The default configuration is *passive*: a single attempt, no
+    deadline, no jitter — with no fault plan bound, supervised
+    execution is bit-identical to the unsupervised code path (the same
+    ``policy=None`` contract the OTA retry layer honours).
+
+    Attributes:
+        policy: bounded retry budget and backoff for transient strikes
+            (worker crash, workload hang, deadline overrun);
+            ``max_attempts`` is the quarantine threshold.
+        heartbeat_timeout_s: dwell before a crashed (silent) worker is
+            declared dead.
+        watchdog_timeout_s: dwell before a hung (alive-but-stuck)
+            workload is reset.
+        deadline_s: per-job virtual-time budget measured from dispatch;
+            ``None`` means unbounded.
+    """
+
+    policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=1))
+    heartbeat_timeout_s: float = 5.0
+    watchdog_timeout_s: float = 10.0
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_timeout_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat_timeout_s must be positive, "
+                f"got {self.heartbeat_timeout_s!r}")
+        if self.watchdog_timeout_s <= 0:
+            raise ConfigurationError(
+                f"watchdog_timeout_s must be positive, "
+                f"got {self.watchdog_timeout_s!r}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive or None, "
+                f"got {self.deadline_s!r}")
+
+
+def job_jitter_rng(policy: RetryPolicy,
+                   job_id: int) -> np.random.Generator | None:
+    """The per-job backoff jitter stream (``None`` when jitter is off).
+
+    Keyed by ``(policy seed, supervisor stream tag, job id)`` so delays
+    are independent of dispatch order and replay bit-identically during
+    journal recovery.
+    """
+    if policy.jitter_fraction == 0.0:
+        return None
+    return np.random.default_rng(
+        [policy.seed, _STREAM_SUPERVISOR, job_id])
+
+
+class HeartbeatMonitor:
+    """Kick-or-expire heartbeat tracking on the virtual clock.
+
+    The :class:`repro.mcu.watchdog.Watchdog` idiom without the event
+    scheduler: the supervisor arms the monitor at dispatch, the worker
+    kicks it at every progress milestone, and a worker that goes silent
+    is declared dead ``timeout_s`` after its last kick.  ``resets``
+    counts declared deaths, mirroring ``Watchdog.resets``.
+    """
+
+    def __init__(self, timeout_s: float) -> None:
+        if timeout_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat timeout must be positive, got {timeout_s!r}")
+        self.timeout_s = timeout_s
+        self.armed = False
+        self.expired = False
+        self.resets = 0
+        self._last_kick_s = 0.0
+
+    def arm(self, now_s: float) -> None:
+        """Start watching; the first deadline is one timeout from now."""
+        self.armed = True
+        self.expired = False
+        self._last_kick_s = now_s
+
+    def kick(self, now_s: float) -> None:
+        """A heartbeat arrived: push the deadline past ``now_s``."""
+        self._last_kick_s = now_s
+
+    @property
+    def deadline_s(self) -> float:
+        """Absolute virtual time the worker is declared dead."""
+        return self._last_kick_s + self.timeout_s
+
+    def declare_dead(self) -> float:
+        """Record a missed-heartbeat death; returns the detection dwell.
+
+        The dwell is the full timeout: the supervisor only notices a
+        silent worker when the deadline lapses.
+        """
+        self.armed = False
+        self.expired = True
+        self.resets += 1
+        return self.timeout_s
+
+    def disarm(self) -> None:
+        """Stop watching (the attempt finished)."""
+        self.armed = False

@@ -100,11 +100,13 @@ class TenantCounters:
     rejected: int = 0
     completed: int = 0
     cache_hits: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {"submitted": self.submitted, "admitted": self.admitted,
                 "rejected": self.rejected, "completed": self.completed,
-                "cache_hits": self.cache_hits}
+                "cache_hits": self.cache_hits,
+                "quarantined": self.quarantined}
 
 
 class TenantState:

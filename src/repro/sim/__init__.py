@@ -39,6 +39,8 @@ from repro.sim.events import (
     FAULT_KINDS,
     FAULT_LOSS,
     FAULT_OUTAGE,
+    FAULT_WORKER_CRASH,
+    FAULT_WORKLOAD_HANG,
     FLASH_BUSY,
     FPGA_CONFIG,
     MCU_DECOMPRESS,
@@ -60,13 +62,19 @@ from repro.sim.events import (
     RADIO_MODE,
     SCHEDULER_FIRE,
     SERVICE_ADMIT,
+    SERVICE_BREAKER_CLOSE,
+    SERVICE_BREAKER_HALF_OPEN,
+    SERVICE_BREAKER_OPEN,
     SERVICE_CACHE_HIT,
     SERVICE_COMPLETE,
     SERVICE_DISPATCH,
     SERVICE_EXECUTE,
     SERVICE_KINDS,
     SERVICE_PROGRESS,
+    SERVICE_QUARANTINE,
     SERVICE_REJECT,
+    SERVICE_RETRY,
+    SERVICE_SHED,
     SERVICE_SUBMIT,
     SLEEP,
     WATCHDOG_RESET,
@@ -101,6 +109,8 @@ __all__ = [
     "FAULT_KINDS",
     "FAULT_LOSS",
     "FAULT_OUTAGE",
+    "FAULT_WORKER_CRASH",
+    "FAULT_WORKLOAD_HANG",
     "FLASH_BUSY",
     "FPGA_CONFIG",
     "MCU_DECOMPRESS",
@@ -122,13 +132,19 @@ __all__ = [
     "RADIO_MODE",
     "SCHEDULER_FIRE",
     "SERVICE_ADMIT",
+    "SERVICE_BREAKER_CLOSE",
+    "SERVICE_BREAKER_HALF_OPEN",
+    "SERVICE_BREAKER_OPEN",
     "SERVICE_CACHE_HIT",
     "SERVICE_COMPLETE",
     "SERVICE_DISPATCH",
     "SERVICE_EXECUTE",
     "SERVICE_KINDS",
     "SERVICE_PROGRESS",
+    "SERVICE_QUARANTINE",
     "SERVICE_REJECT",
+    "SERVICE_RETRY",
+    "SERVICE_SHED",
     "SERVICE_SUBMIT",
     "SLEEP",
     "WATCHDOG_RESET",

@@ -38,14 +38,25 @@ kind                meaning
 ``fault.brownout``  injected node brownout/reboot mid-transfer
 ``fault.outage``    packet fell inside an injected AP outage window
 ``fault.hang``      injected MCU hang (watchdog-detected)
+``fault.worker_crash``  injected service-worker crash mid-attempt (the
+                    span is the supervisor's missed-heartbeat dwell)
+``fault.workload_hang``  injected workload hang (zero-duration marker;
+                    the watchdog reset carries the detection dwell)
 ``service.submit``  a tenant submitted a job to the campaign service
 ``service.admit``   the job cleared quota/rate-limit admission
 ``service.reject``  admission refused the job (quota or rate limit)
+``service.shed``    admission shed the job at an overload high-water mark
 ``service.dispatch``  the scheduler picked the job off the queue
 ``service.progress``  a workload adapter reported a progress milestone
 ``service.execute``  the workload's whole virtual-time execution span
-``service.cache``   the result cache answered the job (zero recompute)
+``service.retry``   the supervisor backed off before re-running a job
+``service.cache``   the result cache answered the job (zero recompute),
+                    or evicted an entry that failed digest re-verification
 ``service.complete``  the job finished and its result was recorded
+``service.quarantine``  the job struck out and was quarantined as poison
+``service.breaker.open``  a per-workload circuit breaker tripped open
+``service.breaker.half_open``  an open breaker started a probe window
+``service.breaker.close``  a half-open breaker's probe succeeded
 ==================  =====================================================
 
 The ``fault.*`` namespace is reserved for *injected* failures from
@@ -98,14 +109,22 @@ FAULT_FLASH = "fault.flash"
 FAULT_BROWNOUT = "fault.brownout"
 FAULT_OUTAGE = "fault.outage"
 FAULT_HANG = "fault.hang"
+FAULT_WORKER_CRASH = "fault.worker_crash"
+FAULT_WORKLOAD_HANG = "fault.workload_hang"
 SERVICE_SUBMIT = "service.submit"
 SERVICE_ADMIT = "service.admit"
 SERVICE_REJECT = "service.reject"
+SERVICE_SHED = "service.shed"
 SERVICE_DISPATCH = "service.dispatch"
 SERVICE_PROGRESS = "service.progress"
 SERVICE_EXECUTE = "service.execute"
+SERVICE_RETRY = "service.retry"
 SERVICE_CACHE_HIT = "service.cache"
 SERVICE_COMPLETE = "service.complete"
+SERVICE_QUARANTINE = "service.quarantine"
+SERVICE_BREAKER_OPEN = "service.breaker.open"
+SERVICE_BREAKER_HALF_OPEN = "service.breaker.half_open"
+SERVICE_BREAKER_CLOSE = "service.breaker.close"
 
 #: Every kind the ledger understands, for validation and docs.
 ALL_KINDS = frozenset({
@@ -115,21 +134,25 @@ ALL_KINDS = frozenset({
     OTA_REQUEST, OTA_SESSION, OTA_RETRY_WAIT, OTA_FAILURE,
     OTA_CHECKPOINT, OTA_RESUME, OTA_ROLLBACK, OTA_VERIFY, WATCHDOG_RESET,
     FAULT_LOSS, FAULT_CORRUPT, FAULT_FLASH, FAULT_BROWNOUT, FAULT_OUTAGE,
-    FAULT_HANG,
-    SERVICE_SUBMIT, SERVICE_ADMIT, SERVICE_REJECT, SERVICE_DISPATCH,
-    SERVICE_PROGRESS, SERVICE_EXECUTE, SERVICE_CACHE_HIT, SERVICE_COMPLETE,
+    FAULT_HANG, FAULT_WORKER_CRASH, FAULT_WORKLOAD_HANG,
+    SERVICE_SUBMIT, SERVICE_ADMIT, SERVICE_REJECT, SERVICE_SHED,
+    SERVICE_DISPATCH, SERVICE_PROGRESS, SERVICE_EXECUTE, SERVICE_RETRY,
+    SERVICE_CACHE_HIT, SERVICE_COMPLETE, SERVICE_QUARANTINE,
+    SERVICE_BREAKER_OPEN, SERVICE_BREAKER_HALF_OPEN, SERVICE_BREAKER_CLOSE,
 })
 
 #: The injected-failure namespace (every kind repro.faults may emit).
 FAULT_KINDS = frozenset({
     FAULT_LOSS, FAULT_CORRUPT, FAULT_FLASH, FAULT_BROWNOUT, FAULT_OUTAGE,
-    FAULT_HANG,
+    FAULT_HANG, FAULT_WORKER_CRASH, FAULT_WORKLOAD_HANG,
 })
 
 #: The campaign-service namespace (every kind repro.service may emit).
 SERVICE_KINDS = frozenset({
-    SERVICE_SUBMIT, SERVICE_ADMIT, SERVICE_REJECT, SERVICE_DISPATCH,
-    SERVICE_PROGRESS, SERVICE_EXECUTE, SERVICE_CACHE_HIT, SERVICE_COMPLETE,
+    SERVICE_SUBMIT, SERVICE_ADMIT, SERVICE_REJECT, SERVICE_SHED,
+    SERVICE_DISPATCH, SERVICE_PROGRESS, SERVICE_EXECUTE, SERVICE_RETRY,
+    SERVICE_CACHE_HIT, SERVICE_COMPLETE, SERVICE_QUARANTINE,
+    SERVICE_BREAKER_OPEN, SERVICE_BREAKER_HALF_OPEN, SERVICE_BREAKER_CLOSE,
 })
 
 

@@ -1,0 +1,27 @@
+"""Service handlers that hide failures from the recovery journal."""
+
+
+def dispatch(service, job):
+    try:
+        return service.invoke(job)
+    except ValueError:
+        return None
+
+
+def drain(service, jobs):
+    done = []
+    for job in jobs:
+        try:
+            done.append(service.invoke(job))
+        except KeyError:
+            continue
+    return done
+
+
+def lookup(cache, address, fallback):
+    try:
+        return cache.fetch(address)
+    except LookupError:
+        result = fallback(address)
+        cache.store(address, result)
+        return result

@@ -1,0 +1,38 @@
+"""Service handlers that propagate or record every failure."""
+
+
+def fail_job(timeline, job, exc):
+    timeline.record("service.complete", "service",
+                    label=f"{job} failed: {exc}")
+    return None
+
+
+def dispatch(service, timeline, job):
+    try:
+        return service.invoke(job)
+    except ValueError as exc:
+        return fail_job(timeline, job, exc)
+
+
+def drain(service, policy, jitter, jobs, timeline):
+    done = []
+    for job in jobs:
+        attempt = 0
+        while True:
+            try:
+                done.append(service.invoke(job))
+                break
+            except KeyError:
+                attempt += 1
+                timeline.record("service.retry", "service",
+                                label=f"{job} retry {attempt}",
+                                duration_s=policy.delay_s(attempt, jitter))
+                continue
+    return done
+
+
+def lookup(cache, address):
+    try:
+        return cache.fetch(address)
+    except LookupError:
+        raise KeyError(f"no cached result for {address}") from None

@@ -1,4 +1,4 @@
-"""Golden-fixture tests for the fifteen reprolint rules.
+"""Golden-fixture tests for the sixteen reprolint rules.
 
 The fixtures under ``tests/fixtures/reprolint/`` form two miniature
 projects: ``bad`` contains one file per rule engineered to trip it at
@@ -24,7 +24,8 @@ FIXTURE_CONFIG = LintConfig(
     rule_scopes={"REPRO004": ("*dtype_*.py",),
                  "REPRO006": ("*prov_*.py",),
                  "REPRO010": ("*fleet_*.py",),
-                 "REPRO014": ("*service_*.py",)})
+                 "REPRO014": ("*service_*.py",),
+                 "REPRO016": ("*recovery_*.py",)})
 
 EXPECTED_BAD = {
     ("REPRO001", "src/rng_bad.py", 6),
@@ -80,6 +81,9 @@ EXPECTED_BAD = {
     ("REPRO015", "src/stream_bad.py", 12),
     ("REPRO015", "src/stream_bad.py", 16),
     ("REPRO015", "src/stream_bad.py", 24),
+    ("REPRO016", "src/recovery_bad.py", 7),
+    ("REPRO016", "src/recovery_bad.py", 16),
+    ("REPRO016", "src/recovery_bad.py", 24),
 }
 
 ALL_RULE_IDS = sorted({rule for rule, _, _ in EXPECTED_BAD})
@@ -128,6 +132,7 @@ def test_scope_override_limits_module_scoped_rules():
     assert "REPRO006" not in rules
     assert "REPRO010" not in rules
     assert "REPRO014" not in rules
+    assert "REPRO016" not in rules
     assert {"REPRO001", "REPRO002", "REPRO003",
             "REPRO005", "REPRO007", "REPRO009"} <= rules
 

@@ -26,6 +26,7 @@ FAST_EXAMPLES = [
     "trace_campaign.py",
     "chaos_campaign.py",
     "campaign_service.py",
+    "resilient_service.py",
 ]
 
 SLOW_EXAMPLES = [
